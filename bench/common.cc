@@ -1,0 +1,70 @@
+#include "bench/common.hh"
+
+namespace sac::bench {
+
+std::vector<BenchResults>
+runMatrix(const std::vector<WorkloadProfile> &profiles, const GpuConfig &cfg,
+          double apw_scale, std::uint64_t seed,
+          const std::vector<OrgKind> &orgs)
+{
+    std::vector<BenchResults> out;
+    out.reserve(profiles.size());
+    for (const auto &profile : profiles) {
+        WorkloadProfile p = profile;
+        if (apw_scale != 1.0) {
+            for (auto &phase : p.phases) {
+                phase.accessesPerWarp = std::max<std::uint64_t>(
+                    32, static_cast<std::uint64_t>(
+                            static_cast<double>(phase.accessesPerWarp) *
+                            apw_scale));
+            }
+        }
+        BenchResults res;
+        res.profile = p;
+        for (const auto kind : orgs) {
+            std::cerr << "  [" << p.name << " / " << toString(kind)
+                      << "] ..." << std::flush;
+            res.byOrg.emplace(kind, Runner::run(p, cfg, kind, seed));
+            std::cerr << " done\n";
+        }
+        out.push_back(std::move(res));
+    }
+    return out;
+}
+
+std::map<OrgKind, double>
+hmeanSpeedups(const std::vector<BenchResults> &results)
+{
+    std::map<OrgKind, double> out;
+    if (results.empty())
+        return out;
+    for (const auto &[kind, first] : results.front().byOrg) {
+        (void)first;
+        std::vector<double> speedups;
+        speedups.reserve(results.size());
+        for (const auto &r : results)
+            speedups.push_back(r.speedupOf(kind));
+        out.emplace(kind, harmonicMean(speedups));
+    }
+    return out;
+}
+
+std::vector<WorkloadProfile>
+pickBenchmarks(const std::vector<std::string> &names)
+{
+    std::vector<WorkloadProfile> out;
+    out.reserve(names.size());
+    for (const auto &name : names)
+        out.push_back(findBenchmark(name));
+    return out;
+}
+
+void
+paperCompare(std::ostream &os, const std::string &what,
+             const std::string &paper, const std::string &measured)
+{
+    os << "  " << what << ": paper " << paper << "  |  measured "
+       << measured << "\n";
+}
+
+} // namespace sac::bench

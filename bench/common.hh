@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared machinery for the per-figure bench binaries.
+ *
+ * Every bench prints the paper-style rows for its table/figure with
+ * the paper-reported aggregate next to the measured one, then runs a
+ * couple of google-benchmark micro-measurements of the components the
+ * figure exercises. Progress goes to stderr so stdout stays a clean
+ * table.
+ */
+
+#ifndef SAC_BENCH_COMMON_HH
+#define SAC_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "llc/organization.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+namespace sac::bench {
+
+/** Default experiment configuration: the paper machine at scale 4. */
+inline GpuConfig
+defaultConfig()
+{
+    return GpuConfig::scaled(4);
+}
+
+/** The five organizations in evaluation order. */
+inline const std::vector<OrgKind> &
+allOrgs()
+{
+    static const std::vector<OrgKind> orgs = {
+        OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
+        OrgKind::DynamicLlc, OrgKind::Sac};
+    return orgs;
+}
+
+/** One benchmark's results across organizations. */
+struct BenchResults
+{
+    WorkloadProfile profile;
+    std::map<OrgKind, RunResult> byOrg;
+
+    double speedupOf(OrgKind kind) const
+    {
+        return speedup(byOrg.at(OrgKind::MemorySide), byOrg.at(kind));
+    }
+};
+
+/**
+ * Runs @p profiles under the given organizations (default: all five),
+ * logging progress to stderr. @p apw_scale optionally shortens
+ * kernels for sweeps.
+ */
+std::vector<BenchResults> runMatrix(
+    const std::vector<WorkloadProfile> &profiles, const GpuConfig &cfg,
+    double apw_scale = 1.0, std::uint64_t seed = 1,
+    const std::vector<OrgKind> &orgs = allOrgs());
+
+/** Harmonic mean of each organization's speedups over @p results. */
+std::map<OrgKind, double> hmeanSpeedups(
+    const std::vector<BenchResults> &results);
+
+/** Subset of the suite by names. */
+std::vector<WorkloadProfile> pickBenchmarks(
+    const std::vector<std::string> &names);
+
+/** Prints "paper reports X, we measure Y" comparison lines. */
+void paperCompare(std::ostream &os, const std::string &what,
+                  const std::string &paper, const std::string &measured);
+
+} // namespace sac::bench
+
+#endif // SAC_BENCH_COMMON_HH

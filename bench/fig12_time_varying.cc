@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 12: BFS's time-varying behaviour. BFS alternates a
+ * memory-side-preferred kernel (K1) and an SM-side-preferred kernel
+ * (K2); SAC chooses the optimal organization per kernel and thereby
+ * beats even the pure SM-side LLC on the whole application.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+#include "sac/crd.hh"
+
+namespace {
+
+using namespace sac;
+
+void
+study()
+{
+    const auto cfg = bench::defaultConfig();
+    const auto bfs = findBenchmark("BFS");
+
+    std::cerr << "Fig.12: BFS under memory-side / SM-side / SAC...\n";
+    const auto mem = Runner::run(bfs, cfg, OrgKind::MemorySide, 1);
+    const auto sm = Runner::run(bfs, cfg, OrgKind::SmSide, 1);
+    const auto sac = Runner::run(bfs, cfg, OrgKind::Sac, 1);
+
+    report::banner(std::cout,
+                   "Figure 12: BFS per-kernel performance relative to "
+                   "the memory-side LLC");
+    report::Table t({"kernel", "phase", "SM-side speedup", "SAC speedup",
+                     "SAC decision"});
+    for (std::size_t k = 0; k < mem.kernelCycles.size(); ++k) {
+        const double sm_sp = static_cast<double>(mem.kernelCycles[k]) /
+                             static_cast<double>(sm.kernelCycles[k]);
+        const double sac_sp = static_cast<double>(mem.kernelCycles[k]) /
+                              static_cast<double>(sac.kernelCycles[k]);
+        const char *phase = k % 2 == 0 ? "K1 (expand)" : "K2 (contract)";
+        const char *decision =
+            k < sac.sacDecisions.size()
+                ? toString(sac.sacDecisions[k].chosen)
+                : "?";
+        t.addRow({std::to_string(k), phase, report::times(sm_sp),
+                  report::times(sac_sp), decision});
+    }
+    t.addRow({"overall", "", report::times(speedup(mem, sm)),
+              report::times(speedup(mem, sac)), ""});
+    t.print(std::cout);
+
+    std::cout << "\nHeadline checks:\n";
+    bench::paperCompare(std::cout,
+                        "SAC picks memory-side for K1, SM-side for K2",
+                        "yes",
+                        (sac.sacDecisions.size() >= 2 &&
+                         sac.sacDecisions[0].chosen ==
+                             LlcMode::MemorySide &&
+                         sac.sacDecisions[1].chosen == LlcMode::SmSide)
+                            ? "yes"
+                            : "no");
+    bench::paperCompare(
+        std::cout, "SAC beats the pure SM-side LLC on BFS", "yes",
+        speedup(mem, sac) > speedup(mem, sm) ? "yes" : "no");
+}
+
+/** Ablation: profiling-window length sensitivity on BFS decisions. */
+void
+windowAblation()
+{
+    report::banner(std::cout,
+                   "Ablation: profiling window (requests) vs. SAC "
+                   "decisions on BFS");
+    report::Table t({"min requests", "K1 decision", "K2 decision",
+                     "overall speedup vs mem-side"});
+    const auto bfs = findBenchmark("BFS");
+    for (const std::uint64_t reqs : {10000ull, 40000ull, 120000ull}) {
+        auto cfg = bench::defaultConfig();
+        cfg.sac.profileMinRequests = reqs;
+        const auto mem = Runner::run(bfs, cfg, OrgKind::MemorySide, 1);
+        const auto sac = Runner::run(bfs, cfg, OrgKind::Sac, 1);
+        t.addRow({std::to_string(reqs),
+                  sac.sacDecisions.size() > 0
+                      ? toString(sac.sacDecisions[0].chosen)
+                      : "?",
+                  sac.sacDecisions.size() > 1
+                      ? toString(sac.sacDecisions[1].chosen)
+                      : "?",
+                  report::times(speedup(mem, sac))});
+    }
+    t.print(std::cout);
+}
+
+/** Micro: CRD access cost (the profiling hot path). */
+void
+BM_CrdAccess(benchmark::State &state)
+{
+    Crd crd(32, 16, 4, 1, 16);
+    Addr a = 0;
+    for (auto _ : state) {
+        crd.access(a, 0, static_cast<ChipId>((a >> 7) & 3));
+        a += 128;
+    }
+}
+BENCHMARK(BM_CrdAccess);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    study();
+    windowAblation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 13: input-set sensitivity. The SM-side and SAC organizations
+ * are swept across input scales (x8 ... /4 for SP benchmarks, x4 ...
+ * /32 for MP benchmarks); speedups are relative to the memory-side
+ * LLC at the same input.
+ *
+ * Paper headline: SAC selects the optimal organization across inputs —
+ * it reverts to memory-side for the largest SP inputs (the replicated
+ * shared set stops fitting) and switches to SM-side for the smallest
+ * MP inputs (replication starts fitting).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+
+namespace {
+
+using namespace sac;
+
+void
+sweep(const char *name, const std::vector<double> &scales)
+{
+    const auto cfg = bench::defaultConfig();
+    const auto base = findBenchmark(name);
+    report::Table t({"input scale", "SM-side speedup", "SAC speedup",
+                     "SAC decision (k0)"});
+    for (const double s : scales) {
+        std::cerr << "  [" << name << " x" << s << "] ..." << std::flush;
+        const auto p = base.withInputScale(s);
+        const auto mem = Runner::run(p, cfg, OrgKind::MemorySide, 1);
+        const auto sm = Runner::run(p, cfg, OrgKind::SmSide, 1);
+        const auto sac = Runner::run(p, cfg, OrgKind::Sac, 1);
+        std::cerr << " done\n";
+        t.addRow({(s >= 1.0 ? "x" + report::num(s, 0)
+                            : "/" + report::num(1.0 / s, 0)),
+                  report::times(speedup(mem, sm)),
+                  report::times(speedup(mem, sac)),
+                  sac.sacDecisions.empty()
+                      ? "?"
+                      : toString(sac.sacDecisions[0].chosen)});
+    }
+    std::cout << "\n" << name << " ("
+              << (base.smSidePreferred ? "SM-side preferred"
+                                       : "memory-side preferred")
+              << "):\n";
+    t.print(std::cout);
+}
+
+void
+study()
+{
+    report::banner(std::cout,
+                   "Figure 13: input-set sensitivity (speedup vs. "
+                   "memory-side at the same input)");
+    // SP benchmarks: growing inputs should eventually overwhelm
+    // replication and flip the preference to memory-side.
+    sweep("RN", {8.0, 2.0, 1.0, 0.25});
+    sweep("CFD", {8.0, 2.0, 1.0, 0.25});
+    // MP benchmarks: shrinking inputs make the shared set replicable.
+    sweep("GEMM", {4.0, 1.0, 1.0 / 8.0, 1.0 / 32.0});
+    sweep("STEN", {4.0, 1.0, 1.0 / 8.0, 1.0 / 32.0});
+
+    std::cout << "\nHeadline check (paper): SAC tracks the better of the "
+                 "two organizations at every input scale, choosing\n"
+                 "SM-side when the replicated shared working set fits "
+                 "and memory-side when it does not.\n";
+}
+
+/** Micro: cost of rescaling a profile (the sweep's inner op). */
+void
+BM_InputScale(benchmark::State &state)
+{
+    const auto base = findBenchmark("GEMM");
+    double f = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(base.withInputScale(f));
+        f = f >= 8.0 ? 0.125 : f * 2.0;
+    }
+}
+BENCHMARK(BM_InputScale);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    study();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Example: the EAB analytical model as a standalone design tool.
+ *
+ * No simulation — this sweeps the model's workload inputs and prints
+ * the decision boundary between memory-side and SM-side LLC
+ * organizations for a given machine, the way Section 3.3's equations
+ * can be used on the back of an envelope.
+ *
+ *   ./eab_explorer [interChipGBs]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/config.hh"
+#include "sac/eab.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sac;
+
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    if (argc > 1)
+        cfg.interChipBw = std::atof(argv[1]);
+
+    const auto arch = eab::ArchParams::fromConfig(cfg);
+    std::cout << "EAB decision map for: " << cfg.summary() << "\n"
+              << "rows = SM-side predicted hit rate, cols = fraction of "
+                 "local requests;\n"
+              << "'S' = model selects SM-side (theta = 5%), '.' = stays "
+                 "memory-side.\n"
+              << "Memory-side hit rate fixed at 0.85, uniform slice "
+                 "use.\n\n";
+
+    std::cout << "hitSm\\Rlocal ";
+    for (double rl = 0.1; rl <= 0.91; rl += 0.1)
+        std::cout << " " << static_cast<int>(rl * 100 + 0.5) << "%";
+    std::cout << "\n";
+
+    for (double hit_sm = 0.95; hit_sm >= 0.049; hit_sm -= 0.1) {
+        std::cout << "       " << static_cast<int>(hit_sm * 100 + 0.5)
+                  << "%   ";
+        for (double rl = 0.1; rl <= 0.91; rl += 0.1) {
+            eab::WorkloadParams wl;
+            wl.rLocal = rl;
+            wl.hitMem = 0.85;
+            wl.hitSm = hit_sm;
+            const auto r = eab::evaluate(arch, wl);
+            std::cout << "   " << (r.preferSmSide(0.05) ? 'S' : '.');
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "\nReading the map: SM-side wins when the workload is "
+                 "remote-heavy (left columns)\nand its predicted hit "
+                 "rate survives replication (top rows) — exactly the "
+                 "paper's\nSP/MP split. Raising the inter-chip bandwidth "
+                 "(try ./eab_explorer 384) shrinks\nthe 'S' region: "
+                 "caching remote data locally matters less.\n";
+    return 0;
+}

@@ -1,0 +1,201 @@
+#include "cache/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace sac {
+
+SetAssocCache::SetAssocCache(std::uint64_t bytes, int ways,
+                             unsigned line_bytes, unsigned sectors_per_line,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : numSets(bytes / (static_cast<std::uint64_t>(ways) * line_bytes)),
+      numWays(ways),
+      lineBytes(line_bytes),
+      lineShift(floorLog2(line_bytes)),
+      sectorsPerLine(sectors_per_line),
+      split(ways),
+      repl(policy ? std::move(policy) : std::make_unique<LruPolicy>()),
+      lines(numSets * static_cast<std::uint64_t>(ways))
+{
+    SAC_ASSERT(numSets > 0, "cache has zero sets");
+    SAC_ASSERT(isPowerOfTwo(numSets), "set count must be a power of two");
+    SAC_ASSERT(sectorsPerLine >= 1 && sectorsPerLine <= 32,
+               "unsupported sector count");
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    // Hash the index so synthetic strided footprints spread across
+    // sets the way PAE-mapped real addresses would. The salt
+    // decorrelates this hash from the slice-selection hash in
+    // AddressMap (identical hashes would strand 1/slices of the sets,
+    // because slice selection already fixed the low hash bits).
+    return mix64((line_addr >> lineShift) ^ 0x5bd1e995bd1eULL) &
+           (numSets - 1);
+}
+
+CacheLine *
+SetAssocCache::findLine(Addr line_addr)
+{
+    const auto set = setIndex(line_addr);
+    const Addr tag = line_addr >> lineShift;
+    CacheLine *base = &lines[set * static_cast<std::uint64_t>(numWays)];
+    for (int w = 0; w < numWays; ++w) {
+        if (base[w].valid && (base[w].lineAddr >> lineShift) == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+SetAssocCache::findLine(Addr line_addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(line_addr);
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr line_addr, unsigned sector, bool is_write)
+{
+    SAC_ASSERT(sector < sectorsPerLine, "sector out of range");
+    CacheAccessResult res;
+    CacheLine *line = findLine(line_addr);
+    if (!line)
+        return res;
+    line->lastUse = ++useClock;
+    const std::uint32_t bit = 1u << sector;
+    if (!(line->sectorValid & bit)) {
+        res.sectorMiss = true;
+        return res;
+    }
+    res.hit = true;
+    if (is_write) {
+        line->dirty = true;
+        line->sectorDirty |= bit;
+    }
+    return res;
+}
+
+bool
+SetAssocCache::probe(Addr line_addr, unsigned sector) const
+{
+    const CacheLine *line = findLine(line_addr);
+    return line && (line->sectorValid & (1u << sector));
+}
+
+EvictResult
+SetAssocCache::insert(Addr line_addr, unsigned sector, ChipId home,
+                      bool dirty, int partition)
+{
+    SAC_ASSERT(partition == partitionLocal || partition == partitionRemote,
+               "bad partition class ", partition);
+    EvictResult res;
+    const std::uint32_t bit = 1u << sector;
+
+    if (CacheLine *line = findLine(line_addr)) {
+        // Sector fill into an already-present line.
+        line->sectorValid |= bit;
+        if (dirty) {
+            line->dirty = true;
+            line->sectorDirty |= bit;
+        }
+        line->lastUse = ++useClock;
+        return res;
+    }
+
+    const int first = partition == partitionLocal ? 0 : split;
+    const int count = partition == partitionLocal ? split : numWays - split;
+    SAC_ASSERT(count > 0, "allocation into an empty partition");
+
+    const auto set = setIndex(line_addr);
+    CacheLine *base = &lines[set * static_cast<std::uint64_t>(numWays)];
+
+    std::vector<WayState> states(static_cast<std::size_t>(numWays));
+    for (int w = 0; w < numWays; ++w)
+        states[static_cast<std::size_t>(w)] = {base[w].valid, base[w].lastUse};
+    const int victim = repl->victim(states, first, count);
+    SAC_ASSERT(victim >= first && victim < first + count,
+               "victim outside partition");
+
+    CacheLine &slot = base[victim];
+    if (slot.valid) {
+        res.evicted = true;
+        res.dirty = slot.dirty;
+        res.lineAddr = slot.lineAddr;
+        res.home = slot.home;
+    }
+    slot.valid = true;
+    slot.dirty = dirty;
+    slot.lineAddr = line_addr;
+    slot.home = home;
+    slot.sectorValid = sectorsPerLine == 1 ? 1u : bit;
+    slot.sectorDirty = dirty ? slot.sectorValid : 0u;
+    slot.lastUse = ++useClock;
+    return res;
+}
+
+void
+SetAssocCache::flushAll(const std::function<void(const CacheLine &)> &writeback)
+{
+    flushIf([](const CacheLine &) { return true; }, writeback);
+}
+
+void
+SetAssocCache::flushIf(const std::function<bool(const CacheLine &)> &pred,
+                       const std::function<void(const CacheLine &)> &writeback)
+{
+    for (auto &line : lines) {
+        if (!line.valid || !pred(line))
+            continue;
+        if (line.dirty && writeback)
+            writeback(line);
+        line = CacheLine{};
+    }
+}
+
+bool
+SetAssocCache::invalidate(Addr line_addr)
+{
+    if (CacheLine *line = findLine(line_addr)) {
+        *line = CacheLine{};
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::setWaySplit(int local_ways)
+{
+    SAC_ASSERT(local_ways >= 0 && local_ways <= numWays,
+               "way split out of range");
+    split = local_ways;
+}
+
+std::uint64_t
+SetAssocCache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+SetAssocCache::dirtyLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines)
+        n += (line.valid && line.dirty) ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+SetAssocCache::remoteLines(ChipId chip) const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines)
+        n += (line.valid && line.home != chip) ? 1 : 0;
+    return n;
+}
+
+} // namespace sac

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Set-associative cache array with way partitioning and optional
+ * sectored lines.
+ *
+ * This is the tag/state model shared by the per-cluster L1s and the
+ * LLC slices. It knows nothing about networks or organizations; the
+ * LLC slice layers bypass/partition policy on top.
+ *
+ * Way partitioning supports the Static (L1.5) and Dynamic baselines:
+ * partition class 0 allocates in ways [0, split) and class 1 in
+ * [split, ways). Lookups always search every way, so moving the split
+ * never loses data — lines left stranded in the other class's ways
+ * simply age out.
+ */
+
+#ifndef SAC_CACHE_CACHE_HH
+#define SAC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/types.hh"
+
+namespace sac {
+
+/** Allocation partition classes. */
+constexpr int partitionLocal = 0;
+constexpr int partitionRemote = 1;
+
+/** Metadata of one cache line. */
+struct CacheLine
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr lineAddr = 0;
+    /** Home chip of the line (writeback destination for replicas). */
+    ChipId home = invalidChip;
+    /** Bitmask of valid sectors (all set for conventional caches). */
+    std::uint32_t sectorValid = 0;
+    /** Bitmask of dirty sectors. */
+    std::uint32_t sectorDirty = 0;
+    std::uint64_t lastUse = 0;
+};
+
+/** Outcome of a cache access. */
+struct CacheAccessResult
+{
+    /** Tag matched and the requested sector was valid. */
+    bool hit = false;
+    /** Tag matched but the sector was missing (sectored caches). */
+    bool sectorMiss = false;
+};
+
+/** Outcome of a fill/insert: the victim, if one was displaced. */
+struct EvictResult
+{
+    bool evicted = false;
+    bool dirty = false;
+    Addr lineAddr = 0;
+    ChipId home = invalidChip;
+};
+
+/**
+ * Tag array with LRU (or pluggable) replacement, optional sectoring
+ * and a two-class way partition.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param bytes total capacity
+     * @param ways associativity
+     * @param line_bytes line size
+     * @param sectors_per_line 1 for conventional caches
+     * @param policy victim selection (defaults to LRU)
+     */
+    SetAssocCache(std::uint64_t bytes, int ways, unsigned line_bytes,
+                  unsigned sectors_per_line = 1,
+                  std::unique_ptr<ReplacementPolicy> policy = nullptr);
+
+    /**
+     * Looks up @p line_addr / @p sector, updating recency on a tag
+     * match and marking dirtiness for writes that hit.
+     */
+    CacheAccessResult access(Addr line_addr, unsigned sector, bool is_write);
+
+    /** Lookup without any state change. */
+    bool probe(Addr line_addr, unsigned sector) const;
+
+    /**
+     * Installs (or completes the sector of) @p line_addr into
+     * partition @p partition, evicting a victim from that partition's
+     * ways if needed.
+     *
+     * @param home home chip recorded for writeback routing
+     * @param dirty install in dirty state (write allocation)
+     */
+    EvictResult insert(Addr line_addr, unsigned sector, ChipId home,
+                       bool dirty, int partition);
+
+    /**
+     * Invalidates every line, returning dirty lines through
+     * @p writeback (if provided) before dropping them.
+     */
+    void flushAll(const std::function<void(const CacheLine &)> &writeback = {});
+
+    /**
+     * Invalidates lines matching @p pred (e.g., "home != this chip"),
+     * reporting dirty ones through @p writeback first.
+     */
+    void flushIf(const std::function<bool(const CacheLine &)> &pred,
+                 const std::function<void(const CacheLine &)> &writeback = {});
+
+    /** Invalidates one line if present; returns true when it was. */
+    bool invalidate(Addr line_addr);
+
+    /** Moves the class-0/class-1 way split (Dynamic LLC). */
+    void setWaySplit(int local_ways);
+    int waySplit() const { return split; }
+
+    int ways() const { return numWays; }
+    std::uint64_t sets() const { return numSets; }
+    unsigned sectors() const { return sectorsPerLine; }
+    std::uint64_t capacityBytes() const
+    {
+        return numSets * static_cast<std::uint64_t>(numWays) * lineBytes;
+    }
+
+    /** Valid lines currently resident. */
+    std::uint64_t validLines() const;
+    /** Dirty lines currently resident. */
+    std::uint64_t dirtyLines() const;
+    /** Valid lines whose recorded home differs from @p chip. */
+    std::uint64_t remoteLines(ChipId chip) const;
+
+    /** Set index for an address (exposed for the CRD's sampling). */
+    std::uint64_t setIndex(Addr line_addr) const;
+
+  private:
+    CacheLine *findLine(Addr line_addr);
+    const CacheLine *findLine(Addr line_addr) const;
+
+    std::uint64_t numSets;
+    int numWays;
+    unsigned lineBytes;
+    unsigned lineShift;
+    unsigned sectorsPerLine;
+    int split; // ways [0, split) = class 0, [split, ways) = class 1
+    std::uint64_t useClock = 0;
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::vector<CacheLine> lines; // numSets x numWays, row-major
+};
+
+} // namespace sac
+
+#endif // SAC_CACHE_CACHE_HH

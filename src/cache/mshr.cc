@@ -1,0 +1,54 @@
+#include "cache/mshr.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+MshrFile::MshrFile(std::size_t entries) : cap(entries)
+{
+    SAC_ASSERT(cap > 0, "MSHR file needs at least one entry");
+}
+
+MshrFile::Outcome
+MshrFile::allocate(const Packet &pkt)
+{
+    const auto k = key(pkt.lineAddr, pkt.sector);
+    auto it = table.find(k);
+    if (it != table.end()) {
+        it->second.push_back(pkt);
+        return Outcome::Merged;
+    }
+    if (table.size() >= cap)
+        return Outcome::Full;
+    table.emplace(k, std::vector<Packet>{pkt});
+    return Outcome::Primary;
+}
+
+bool
+MshrFile::has(Addr line_addr, unsigned sector) const
+{
+    return table.contains(key(line_addr, sector));
+}
+
+std::vector<Packet>
+MshrFile::complete(Addr line_addr, unsigned sector)
+{
+    auto it = table.find(key(line_addr, sector));
+    if (it == table.end())
+        return {};
+    auto targets = std::move(it->second);
+    table.erase(it);
+    return targets;
+}
+
+std::vector<Packet>
+MshrFile::drainAll()
+{
+    std::vector<Packet> all;
+    for (auto &[k, targets] : table)
+        all.insert(all.end(), targets.begin(), targets.end());
+    table.clear();
+    return all;
+}
+
+} // namespace sac

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * Coalesces concurrent misses to the same line so one fill satisfies
+ * every waiting requester — essential for truly shared hot lines,
+ * where dozens of clusters miss on the same address in the same
+ * window.
+ */
+
+#ifndef SAC_CACHE_MSHR_HH
+#define SAC_CACHE_MSHR_HH
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/packet.hh"
+
+namespace sac {
+
+/** MSHR file keyed by (line address, sector). */
+class MshrFile
+{
+  public:
+    /** @param entries maximum distinct outstanding line-sector misses. */
+    explicit MshrFile(std::size_t entries);
+
+    /**
+     * Result of allocate(): whether this miss is the first for its
+     * line (must be sent downstream) or merged into an existing entry.
+     */
+    enum class Outcome { Primary, Merged, Full };
+
+    /** Registers a missing request; the packet is retained as a target. */
+    Outcome allocate(const Packet &pkt);
+
+    /** True when a miss for this line-sector is already outstanding. */
+    bool has(Addr line_addr, unsigned sector) const;
+
+    /**
+     * Completes the miss, returning all coalesced target packets and
+     * freeing the entry. Returns an empty vector if no entry exists
+     * (e.g., a bulk flush already drained it).
+     */
+    std::vector<Packet> complete(Addr line_addr, unsigned sector);
+
+    /** Drops every entry, returning all pending targets. */
+    std::vector<Packet> drainAll();
+
+    std::size_t inUse() const { return table.size(); }
+    std::size_t capacity() const { return cap; }
+    bool full() const { return table.size() >= cap; }
+
+  private:
+    static std::uint64_t key(Addr line_addr, unsigned sector)
+    {
+        return line_addr ^ (static_cast<std::uint64_t>(sector) << 58);
+    }
+
+    std::size_t cap;
+    std::unordered_map<std::uint64_t, std::vector<Packet>> table;
+};
+
+} // namespace sac
+
+#endif // SAC_CACHE_MSHR_HH

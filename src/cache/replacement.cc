@@ -1,0 +1,47 @@
+#include "cache/replacement.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+int
+LruPolicy::victim(const std::vector<WayState> &ways, int first, int count)
+{
+    SAC_ASSERT(count > 0, "empty partition");
+    int best = -1;
+    std::uint64_t best_use = ~0ull;
+    for (int w = first; w < first + count; ++w) {
+        const auto &st = ways[static_cast<std::size_t>(w)];
+        if (!st.valid)
+            return w;
+        if (st.lastUse < best_use) {
+            best_use = st.lastUse;
+            best = w;
+        }
+    }
+    return best;
+}
+
+int
+RandomPolicy::victim(const std::vector<WayState> &ways, int first, int count)
+{
+    SAC_ASSERT(count > 0, "empty partition");
+    for (int w = first; w < first + count; ++w) {
+        if (!ways[static_cast<std::size_t>(w)].valid)
+            return w;
+    }
+    return first + static_cast<int>(
+        rng.nextBounded(static_cast<std::uint64_t>(count)));
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, std::uint64_t seed)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (name == "random")
+        return std::make_unique<RandomPolicy>(seed);
+    fatal("unknown replacement policy '", name, "'");
+}
+
+} // namespace sac

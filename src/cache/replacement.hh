@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Victim-selection policies for the set-associative cache.
+ *
+ * The baseline uses LRU (as GPGPU-Sim's L2 does); Random is provided
+ * for property tests that check organization-level results are not an
+ * artifact of the replacement policy.
+ */
+
+#ifndef SAC_CACHE_REPLACEMENT_HH
+#define SAC_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace sac {
+
+/** Per-way state a policy can inspect when choosing a victim. */
+struct WayState
+{
+    bool valid = false;
+    /** Monotonic timestamp of the last access. */
+    std::uint64_t lastUse = 0;
+};
+
+/** Strategy interface: pick a victim way within [first, first+count). */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Chooses the victim way. Invalid ways must be preferred over
+     * valid ones.
+     *
+     * @param ways per-way state for the whole set
+     * @param first first way of the allocation partition
+     * @param count number of ways in the partition (> 0)
+     */
+    virtual int victim(const std::vector<WayState> &ways, int first,
+                       int count) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Least-recently-used. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    int victim(const std::vector<WayState> &ways, int first,
+               int count) override;
+    std::string name() const override { return "LRU"; }
+};
+
+/** Uniform random over valid ways (invalid still preferred). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng(seed, 0x7e91) {}
+
+    int victim(const std::vector<WayState> &ways, int first,
+               int count) override;
+    std::string name() const override { return "Random"; }
+
+  private:
+    Rng rng;
+};
+
+/** Factory by name ("lru" | "random"); fatal() on unknown names. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    const std::string &name, std::uint64_t seed);
+
+} // namespace sac
+
+#endif // SAC_CACHE_REPLACEMENT_HH

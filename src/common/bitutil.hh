@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the cache, NoC and address
+ * mapping code.
+ */
+
+#ifndef SAC_COMMON_BITUTIL_HH
+#define SAC_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace sac {
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+/**
+ * Mixes the bits of a 64-bit value (SplitMix64 finalizer). Used by the
+ * PAE-style randomized address mapping to decorrelate slice/channel
+ * selection bits from application stride patterns.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace sac
+
+#endif // SAC_COMMON_BITUTIL_HH

@@ -1,0 +1,118 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace sac {
+
+void
+GpuConfig::validate() const
+{
+    if (numChips < 1 || numChips > 16)
+        fatal("numChips must be in [1, 16], got ", numChips);
+    if (clustersPerChip < 1 || slicesPerChip < 1 || channelsPerChip < 1)
+        fatal("per-chip resource counts must be positive");
+    if (!isPowerOfTwo(lineBytes) || lineBytes < 32)
+        fatal("lineBytes must be a power of two >= 32, got ", lineBytes);
+    if (!isPowerOfTwo(pageBytes) || pageBytes < lineBytes)
+        fatal("pageBytes must be a power of two >= lineBytes");
+    if (sectorsPerLine != 1 && sectorsPerLine != 2 && sectorsPerLine != 4)
+        fatal("sectorsPerLine must be 1, 2 or 4, got ", sectorsPerLine);
+    if (llcBytesPerChip % slicesPerChip != 0)
+        fatal("LLC capacity must divide evenly across slices");
+    const auto slice_bytes = llcBytesPerSlice();
+    if (slice_bytes % (static_cast<std::uint64_t>(llcWays) * lineBytes) != 0)
+        fatal("LLC slice capacity must divide into ", llcWays, " ways of ",
+              lineBytes, "-byte lines");
+    const auto sets = slice_bytes / (static_cast<std::uint64_t>(llcWays) *
+                                     lineBytes);
+    if (!isPowerOfTwo(sets))
+        fatal("LLC slice set count must be a power of two, got ", sets);
+    if (l1BytesPerCluster % (static_cast<std::uint64_t>(l1Ways) * lineBytes))
+        fatal("L1 capacity must divide into ways of lines");
+    if (xbarPortBw <= 0 || sliceBw <= 0 || dramChannelBw <= 0 ||
+        interChipBw <= 0) {
+        fatal("all bandwidths must be positive");
+    }
+    if (warpsPerCluster < 1)
+        fatal("warpsPerCluster must be positive");
+    if (clusterMshrs < 1 || sliceMshrs < 1 || memQueueDepth < 1)
+        fatal("queue capacities must be positive");
+    if (sac.profileWindow < 1)
+        fatal("SAC profile window must be positive");
+    if (sac.theta < 0.0)
+        fatal("SAC theta must be non-negative");
+    if (sac.crdSets < 1 || sac.crdWays < 1)
+        fatal("CRD geometry must be positive");
+    if (dynamicLlc.minWays < 1 || 2 * dynamicLlc.minWays > llcWays)
+        fatal("dynamic LLC minWays must leave room for both partitions");
+}
+
+GpuConfig
+GpuConfig::paperBaseline()
+{
+    GpuConfig cfg;
+    cfg.numChips = 4;
+    cfg.clustersPerChip = 32;  // 64 SMs, two per NoC port
+    cfg.warpsPerCluster = 48;
+    cfg.slicesPerChip = 16;
+    cfg.channelsPerChip = 8;
+    cfg.lineBytes = 128;
+    cfg.llcBytesPerChip = 4ull << 20;   // 4 MB
+    cfg.llcWays = 16;
+    cfg.l1BytesPerCluster = 256 * 1024; // 2 SMs x 128 KB
+    cfg.l1Ways = 8;
+    cfg.pageBytes = 4096;
+    cfg.xbarPortBw = 256.0;   // 4 TB/s over 16 slice ports
+    cfg.sliceBw = 256.0;      // 16 TB/s over 64 slices
+    cfg.dramChannelBw = 56.0; // ~1.75 TB/s over 32 channels
+    cfg.interChipBw = 384.0;  // 6 links x 64 GB/s per chip
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::scaled(int divisor)
+{
+    if (divisor < 1)
+        fatal("scale divisor must be >= 1, got ", divisor);
+    GpuConfig cfg = paperBaseline();
+    if (cfg.clustersPerChip % divisor || cfg.slicesPerChip % divisor)
+        fatal("scale divisor ", divisor, " must divide the topology");
+    cfg.clustersPerChip /= divisor;
+    cfg.slicesPerChip /= divisor;
+    cfg.channelsPerChip = std::max(1, cfg.channelsPerChip / divisor);
+    cfg.llcBytesPerChip /= static_cast<unsigned>(divisor);
+    // Per-port bandwidths stay fixed; aggregate per-chip bandwidth
+    // scales with the port count. Inter-chip and DRAM budgets are
+    // per chip, so scale them explicitly.
+    cfg.interChipBw /= divisor;
+    cfg.dramChannelBw =
+        cfg.dramChannelBw * 8.0 / (divisor * cfg.channelsPerChip);
+    // Traffic per cycle scales down with the cluster count while
+    // per-line reuse intervals stretch by the same factor, so the
+    // profiling window must grow ~quadratically for the counters and
+    // the CRD to observe the reuse the paper's 2K-cycle window sees
+    // at full scale.
+    const auto window_scale =
+        std::max<Cycle>(1, static_cast<Cycle>(divisor) *
+                               static_cast<Cycle>(divisor) / 2);
+    cfg.sac.profileWindow *= window_scale;
+    return cfg;
+}
+
+std::string
+GpuConfig::summary() const
+{
+    std::ostringstream os;
+    os << numChips << " chips x (" << clustersPerChip << " clusters, "
+       << slicesPerChip << " LLC slices, " << channelsPerChip
+       << " DRAM channels); LLC " << (llcBytesPerChip >> 10)
+       << " KB/chip; BW B/cy: xbar-port " << xbarPortBw << ", slice "
+       << sliceBw << ", DRAM/chip " << dramBwPerChip() << ", inter-chip "
+       << interChipBw << "; coherence " << toString(coherence);
+    return os.str();
+}
+
+} // namespace sac

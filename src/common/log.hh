@@ -1,0 +1,105 @@
+/**
+ * @file
+ * gem5-flavoured status and error reporting.
+ *
+ * panic()  — simulator bug; should never happen regardless of input.
+ * fatal()  — user error (bad configuration, invalid arguments).
+ * warn()   — something works, but suspiciously.
+ * inform() — plain status output.
+ *
+ * panic/fatal throw typed exceptions instead of aborting so that unit
+ * tests can assert on misuse; the provided top-level handlers in the
+ * binaries turn them into process exit.
+ */
+
+#ifndef SAC_COMMON_LOG_HH
+#define SAC_COMMON_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sac {
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user asked for something unsupported. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace log_detail {
+
+/** Concatenates stream-formattable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+void emit(const char *tag, const std::string &msg);
+
+/** Enables or disables inform()/warn() console output (tests use this). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace log_detail
+
+/** Reports an internal simulator bug and throws PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    auto msg = log_detail::concat(std::forward<Args>(args)...);
+    log_detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Reports an unrecoverable user/configuration error, throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    auto msg = log_detail::concat(std::forward<Args>(args)...);
+    log_detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Warns about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (!log_detail::quiet())
+        log_detail::emit("warn", log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emits a plain informational message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!log_detail::quiet())
+        log_detail::emit("info", log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define SAC_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::sac::panic("assertion '", #cond, "' failed: ", __VA_ARGS__); \
+    } while (0)
+
+} // namespace sac
+
+#endif // SAC_COMMON_LOG_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic component owns its own Rng stream seeded from the
+ * experiment seed plus a component salt, so results are reproducible
+ * and independent of evaluation order.
+ */
+
+#ifndef SAC_COMMON_RNG_HH
+#define SAC_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sac {
+
+/**
+ * xoshiro256** generator. Small, fast and high quality; good enough
+ * for workload synthesis and arbitration tie-breaking.
+ */
+class Rng
+{
+  public:
+    /** Constructs a stream from a seed and a per-component salt. */
+    explicit Rng(std::uint64_t seed, std::uint64_t salt = 0);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s[4];
+};
+
+/**
+ * Zipf-distributed sampler over {0, ..., n-1} with exponent alpha.
+ *
+ * Uses a precomputed CDF and binary search; alpha = 0 degenerates to
+ * uniform. The workload generators use this to model hot shared
+ * working sets (a few lines absorb most accesses).
+ */
+class ZipfSampler
+{
+  public:
+    /** @param n population size (> 0); @param alpha skew (>= 0). */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draws one index in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t population() const { return n_; }
+    double alpha() const { return alpha_; }
+
+  private:
+    std::uint64_t n_;
+    double alpha_;
+    /** CDF over a capped head; the tail is sampled uniformly. */
+    std::vector<double> cdf;
+    double headMass = 1.0;
+    std::uint64_t headSize = 0;
+};
+
+} // namespace sac
+
+#endif // SAC_COMMON_RNG_HH

@@ -1,0 +1,98 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace sac::stats {
+
+Distribution::Distribution(std::string name, std::string desc, double max,
+                           unsigned buckets)
+    : Stat(std::move(name), std::move(desc)),
+      max_(max),
+      counts_(buckets, 0)
+{
+    SAC_ASSERT(max > 0.0 && buckets > 0, "bad distribution shape");
+}
+
+void
+Distribution::sample(double v)
+{
+    const auto buckets = counts_.size();
+    auto idx = static_cast<std::size_t>(v / max_ * static_cast<double>(buckets));
+    idx = std::min(idx, buckets - 1);
+    ++counts_[idx];
+    sum_ += v;
+    ++n_;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    sum_ = 0.0;
+    n_ = 0;
+}
+
+void
+StatGroup::add(Stat &stat)
+{
+    auto [it, inserted] = stats_.emplace(stat.name(), &stat);
+    if (!inserted)
+        panic("duplicate stat '", stat.name(), "' in group '", name_, "'");
+}
+
+void
+StatGroup::addChild(StatGroup &child)
+{
+    children_.push_back(&child);
+}
+
+const Stat *
+StatGroup::find(const std::string &path) const
+{
+    const auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        auto it = stats_.find(path);
+        return it == stats_.end() ? nullptr : it->second;
+    }
+    const auto head = path.substr(0, dot);
+    const auto tail = path.substr(dot + 1);
+    for (const auto *child : children_) {
+        if (child->name() == head)
+            return child->find(tail);
+    }
+    return nullptr;
+}
+
+double
+StatGroup::get(const std::string &path) const
+{
+    const auto *stat = find(path);
+    if (!stat)
+        panic("stat '", path, "' not found in group '", name_, "'");
+    return stat->value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, stat] : stats_)
+        stat->reset();
+    for (auto *child : children_)
+        child->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &[name, stat] : stats_) {
+        os << std::left << std::setw(56) << (base + "." + name) << " "
+           << std::setprecision(8) << stat->value() << "  # " << stat->desc()
+           << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, base);
+}
+
+} // namespace sac::stats

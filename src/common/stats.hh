@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Lightweight statistics framework, gem5-flavoured.
+ *
+ * Components own typed stats (Counter, Scalar, Average, Distribution)
+ * and register them in a StatGroup. Groups nest, producing dotted
+ * names like "chip0.slice2.hits". Benches and tests read stats back
+ * by name; the dump format is stable, one stat per line.
+ */
+
+#ifndef SAC_COMMON_STATS_HH
+#define SAC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace sac::stats {
+
+/** Base class for all statistics. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Primary scalar value of this stat (mean for distributions). */
+    virtual double value() const = 0;
+
+    /** Resets to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator++() { ++count_; return *this; }
+    Counter &operator+=(std::uint64_t n) { count_ += n; return *this; }
+
+    std::uint64_t count() const { return count_; }
+    double value() const override { return static_cast<double>(count_); }
+    void reset() override { count_ = 0; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Arbitrary scalar (e.g., a final ratio computed at dump time). */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator=(double v) { value_ = v; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+
+    double value() const override { return value_; }
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running mean of sampled values. */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v) { sum_ += v; ++n_; }
+
+    std::uint64_t samples() const { return n_; }
+    double sum() const { return sum_; }
+    double value() const override { return n_ ? sum_ / n_ : 0.0; }
+    void reset() override { sum_ = 0.0; n_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, max); overflow goes to the last bucket. */
+class Distribution : public Stat
+{
+  public:
+    Distribution(std::string name, std::string desc, double max,
+                 unsigned buckets);
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return n_; }
+    double value() const override { return n_ ? sum_ / n_ : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    void reset() override;
+
+  private:
+    double max_;
+    std::vector<std::uint64_t> counts_;
+    double sum_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+/**
+ * A named collection of stats. Groups do not own the stats; the
+ * component that declares them does (members), which keeps lifetime
+ * obvious and avoids heap churn.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Registers a stat; names must be unique within the group. */
+    void add(Stat &stat);
+
+    /** Registers a child group (e.g., per-chip subgroups). */
+    void addChild(StatGroup &child);
+
+    const std::string &name() const { return name_; }
+
+    /** Finds a stat by dotted path relative to this group, or null. */
+    const Stat *find(const std::string &path) const;
+
+    /** Convenience: value of a stat that must exist. */
+    double get(const std::string &path) const;
+
+    /** Resets every stat in this group and all children. */
+    void resetAll();
+
+    /** Writes "name value # desc" lines, depth-first. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Stat *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace sac::stats
+
+#endif // SAC_COMMON_STATS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Distributed CTA scheduling (Arunkumar et al.).
+ *
+ * The CTA space is divided into contiguous blocks, one per chip, to
+ * maximize inter-CTA locality within a chip. Workload generators use
+ * the mapping to decide which chip "owns" which part of the private
+ * data set.
+ */
+
+#ifndef SAC_GPU_CTA_SCHEDULER_HH
+#define SAC_GPU_CTA_SCHEDULER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sac {
+
+/** Contiguous block assignment of CTAs to chips. */
+class CtaScheduler
+{
+  public:
+    /** @param ctas total CTA count; @param num_chips chip count. */
+    CtaScheduler(std::uint64_t ctas, int num_chips);
+
+    /** [first, first+count) CTAs assigned to @p chip. */
+    struct Range
+    {
+        std::uint64_t first = 0;
+        std::uint64_t count = 0;
+    };
+
+    Range chipRange(ChipId chip) const;
+
+    /** Chip that executes @p cta. */
+    ChipId chipOf(std::uint64_t cta) const;
+
+    /**
+     * CTA id a given (cluster, warp, iteration) tuple works on within
+     * its chip's range — a simple round-robin walk over the block.
+     */
+    std::uint64_t ctaFor(ChipId chip, ClusterId cluster, int warp,
+                         std::uint64_t iteration) const;
+
+    std::uint64_t totalCtas() const { return ctas_; }
+
+  private:
+    std::uint64_t ctas_;
+    int chips;
+};
+
+} // namespace sac
+
+#endif // SAC_GPU_CTA_SCHEDULER_HH

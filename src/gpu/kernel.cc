@@ -1,0 +1,7 @@
+#include "gpu/kernel.hh"
+
+// Kernel and TraceSource are interface-only; this translation unit
+// anchors their vtables.
+
+namespace sac {
+} // namespace sac

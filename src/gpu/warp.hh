@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Warp contexts and the Greedy-Then-Oldest scheduler.
+ *
+ * A warp alternates compute gaps and memory accesses; it blocks on
+ * loads until the response arrives and fires stores asynchronously.
+ * The scheduler keeps ready warps in issue order with GTO stickiness:
+ * the warp that issued last keeps issuing until it blocks, then the
+ * oldest ready warp takes over (Rogers et al., MICRO'12).
+ */
+
+#ifndef SAC_GPU_WARP_HH
+#define SAC_GPU_WARP_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sac {
+
+/** Execution state of one warp context. */
+struct WarpCtx
+{
+    /** Accesses still to issue this kernel. */
+    std::uint64_t remaining = 0;
+    /** Loads in flight (warp blocks at the MLP limit). */
+    int inFlight = 0;
+    /** Stalled at the MLP limit, waiting for a response. */
+    bool blocked = false;
+    /** Compute gap to apply when the blocking load returns. */
+    std::uint16_t pendingGap = 0;
+    /** Issued everything and nothing outstanding. */
+    bool retired = false;
+};
+
+/**
+ * Tracks which warps are ready to issue at any cycle. Warps are
+ * `wake()`d with a future ready time and surface through `pop()` once
+ * that time arrives, in GTO order.
+ */
+class WarpScheduler
+{
+  public:
+    explicit WarpScheduler(int num_warps);
+
+    /** Schedules @p warp to become ready at @p at. */
+    void wake(int warp, Cycle at);
+
+    /** Moves warps whose time has come into the ready list. */
+    void advance(Cycle now);
+
+    /** True when some warp can issue right now. */
+    bool hasReady() const { return !ready.empty(); }
+
+    /**
+     * Next warp to issue (GTO: the last issuer if still ready,
+     * otherwise the oldest). Does not remove it.
+     */
+    int peek() const;
+
+    /** Removes @p warp from the ready list (it issued or blocked). */
+    void consume(int warp);
+
+    /** Re-inserts @p warp at the front (issue refused, retry next cycle). */
+    void defer(int warp);
+
+    /** Drops all state (kernel boundary). */
+    void reset();
+
+    std::size_t readyCount() const { return ready.size(); }
+
+  private:
+    using Pending = std::pair<Cycle, int>;
+
+    int numWarps;
+    std::deque<int> ready;
+    std::priority_queue<Pending, std::vector<Pending>,
+                        std::greater<Pending>> pending;
+    std::vector<char> inReady;
+};
+
+} // namespace sac
+
+#endif // SAC_GPU_WARP_HH

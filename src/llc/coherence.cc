@@ -1,0 +1,65 @@
+#include "llc/coherence.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+Directory::Directory(int num_chips) : chips(num_chips)
+{
+    SAC_ASSERT(chips > 0 && chips <= 32, "directory supports up to 32 chips");
+}
+
+void
+Directory::addSharer(Addr line_addr, ChipId chip)
+{
+    table[line_addr] |= 1u << chip;
+}
+
+void
+Directory::removeSharer(Addr line_addr, ChipId chip)
+{
+    auto it = table.find(line_addr);
+    if (it == table.end())
+        return;
+    it->second &= ~(1u << chip);
+    if (it->second == 0)
+        table.erase(it);
+}
+
+std::uint32_t
+Directory::sharers(Addr line_addr) const
+{
+    auto it = table.find(line_addr);
+    return it == table.end() ? 0u : it->second;
+}
+
+std::vector<ChipId>
+Directory::sharersExcept(Addr line_addr, ChipId except) const
+{
+    std::vector<ChipId> out;
+    const auto mask = sharers(line_addr);
+    for (ChipId c = 0; c < chips; ++c) {
+        if (c != except && (mask & (1u << c)))
+            out.push_back(c);
+    }
+    return out;
+}
+
+CoherenceManager::CoherenceManager(CoherenceKind kind, int num_chips)
+    : kind_(kind), dir(num_chips)
+{
+}
+
+std::vector<ChipId>
+CoherenceManager::invalidationTargets(Addr line_addr, ChipId writer)
+{
+    if (kind_ != CoherenceKind::Hardware)
+        return {};
+    auto targets = dir.sharersExcept(line_addr, writer);
+    invalidations += targets.size();
+    for (const auto chip : targets)
+        dir.removeSharer(line_addr, chip);
+    return targets;
+}
+
+} // namespace sac

@@ -1,0 +1,48 @@
+#include "llc/dynamic_partition.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace sac {
+
+DynamicPartitionController::DynamicPartitionController(
+    const DynamicLlcParams &params, int num_chips, int ways)
+    : params_(params), ways_(ways),
+      splits(static_cast<std::size_t>(num_chips), ways / 2)
+{
+    SAC_ASSERT(num_chips > 0, "need at least one chip");
+    SAC_ASSERT(ways >= 2 * params.minWays, "too few ways to partition");
+}
+
+int
+DynamicPartitionController::update(ChipId chip, const EpochTraffic &traffic)
+{
+    auto &split = splits[static_cast<std::size_t>(chip)];
+    // Balance outgoing local-memory bandwidth against incoming
+    // inter-chip bandwidth: grow whichever partition serves the
+    // dominant traffic stream. A 10% dead band avoids oscillation.
+    const double local = static_cast<double>(traffic.localMemBytes);
+    const double inter = static_cast<double>(traffic.interChipBytes);
+    if (inter > 1.1 * local) {
+        split -= params_.step; // more ways for remote data
+    } else if (local > 1.1 * inter) {
+        split += params_.step; // more ways for local data
+    }
+    split = std::clamp(split, params_.minWays, ways_ - params_.minWays);
+    return split;
+}
+
+int
+DynamicPartitionController::localWays(ChipId chip) const
+{
+    return splits[static_cast<std::size_t>(chip)];
+}
+
+void
+DynamicPartitionController::reset()
+{
+    std::fill(splits.begin(), splits.end(), ways_ / 2);
+}
+
+} // namespace sac

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Runtime way repartitioning for the Dynamic LLC baseline
+ * (Milic et al., "Beyond the Socket").
+ *
+ * Every epoch the controller compares, per chip, the bandwidth drawn
+ * from the local memory partition against the bandwidth arriving over
+ * the inter-chip links. When inter-chip traffic dominates, caching
+ * more remote data locally relieves the links, so the remote
+ * partition grows; when local memory traffic dominates, the local
+ * partition grows. The paper observes this heuristic "leads to a
+ * local optimum in which the LLC does not allocate enough local
+ * data" — the hysteresis-free greedy step reproduces that behaviour.
+ */
+
+#ifndef SAC_LLC_DYNAMIC_PARTITION_HH
+#define SAC_LLC_DYNAMIC_PARTITION_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace sac {
+
+/** Per-chip epoch traffic sample. */
+struct EpochTraffic
+{
+    /** Bytes served by the chip's local DRAM this epoch. */
+    std::uint64_t localMemBytes = 0;
+    /** Bytes that arrived over the chip's inter-chip links. */
+    std::uint64_t interChipBytes = 0;
+};
+
+/** Computes and tracks per-chip way splits. */
+class DynamicPartitionController
+{
+  public:
+    DynamicPartitionController(const DynamicLlcParams &params, int num_chips,
+                               int ways);
+
+    /**
+     * Feeds one epoch of traffic for @p chip and returns the new
+     * local-partition way count.
+     */
+    int update(ChipId chip, const EpochTraffic &traffic);
+
+    int localWays(ChipId chip) const;
+    Cycle epoch() const { return params_.epoch; }
+
+    /** Back to the half/half starting point (new kernel/workload). */
+    void reset();
+
+  private:
+    DynamicLlcParams params_;
+    int ways_;
+    std::vector<int> splits;
+};
+
+} // namespace sac
+
+#endif // SAC_LLC_DYNAMIC_PARTITION_HH

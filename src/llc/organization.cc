@@ -1,0 +1,38 @@
+#include "llc/organization.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+const char *
+toString(OrgKind kind)
+{
+    switch (kind) {
+      case OrgKind::MemorySide: return "Memory-side";
+      case OrgKind::SmSide: return "SM-side";
+      case OrgKind::StaticLlc: return "Static";
+      case OrgKind::DynamicLlc: return "Dynamic";
+      case OrgKind::Sac: return "SAC";
+    }
+    return "?";
+}
+
+std::unique_ptr<Organization>
+Organization::make(OrgKind kind)
+{
+    switch (kind) {
+      case OrgKind::MemorySide:
+        return std::make_unique<MemorySideOrg>();
+      case OrgKind::SmSide:
+        return std::make_unique<SmSideOrg>();
+      case OrgKind::StaticLlc:
+        return std::make_unique<StaticLlcOrg>();
+      case OrgKind::DynamicLlc:
+        return std::make_unique<DynamicLlcOrg>();
+      case OrgKind::Sac:
+        return std::make_unique<SacOrg>();
+    }
+    panic("unknown organization kind");
+}
+
+} // namespace sac

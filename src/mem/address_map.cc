@@ -1,0 +1,35 @@
+#include "mem/address_map.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace sac {
+
+AddressMap::AddressMap(int slices_per_chip, int channels_per_chip,
+                       unsigned line_bytes)
+    : slices(slices_per_chip),
+      channels(channels_per_chip),
+      lineShift(floorLog2(line_bytes))
+{
+    SAC_ASSERT(slices > 0 && channels > 0, "bad address map shape");
+    SAC_ASSERT(isPowerOfTwo(line_bytes), "line size must be a power of two");
+}
+
+int
+AddressMap::sliceIndex(Addr line_addr) const
+{
+    const std::uint64_t h = mix64(line_addr >> lineShift);
+    return static_cast<int>(h % static_cast<std::uint64_t>(slices));
+}
+
+int
+AddressMap::channelIndex(Addr line_addr) const
+{
+    // Use a disjoint hash field so channel choice is independent of
+    // slice choice (PAE decorrelates all levels).
+    const std::uint64_t h = mix64((line_addr >> lineShift) ^
+                                  0xabcdef0123456789ULL);
+    return static_cast<int>((h >> 17) % static_cast<std::uint64_t>(channels));
+}
+
+} // namespace sac

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PAE-style randomized address mapping (Liu et al., ISCA'18).
+ *
+ * The paper relies on PAE to spread memory accesses uniformly across
+ * LLC slices, memory channels and banks regardless of application
+ * stride. We model it by hashing the line address with a strong
+ * 64-bit mixer and deriving slice/channel indices from disjoint hash
+ * fields. The mapping is pure (stateless), so the same line always
+ * lands on the same slice index of whichever chip serves it — this is
+ * what lets the SM-side configuration replicate a line into the
+ * *same-index* slice of each sharing chip.
+ */
+
+#ifndef SAC_MEM_ADDRESS_MAP_HH
+#define SAC_MEM_ADDRESS_MAP_HH
+
+#include "common/types.hh"
+
+namespace sac {
+
+/** Stateless slice/channel index computation. */
+class AddressMap
+{
+  public:
+    /**
+     * @param slices_per_chip LLC slices in one chip
+     * @param channels_per_chip DRAM channels in one chip
+     * @param line_bytes cache-line size
+     */
+    AddressMap(int slices_per_chip, int channels_per_chip,
+               unsigned line_bytes);
+
+    /** Slice index within the serving chip for @p line_addr. */
+    int sliceIndex(Addr line_addr) const;
+
+    /** DRAM channel index within the home chip for @p line_addr. */
+    int channelIndex(Addr line_addr) const;
+
+    int slicesPerChip() const { return slices; }
+    int channelsPerChip() const { return channels; }
+
+  private:
+    int slices;
+    int channels;
+    unsigned lineShift;
+};
+
+} // namespace sac
+
+#endif // SAC_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,45 @@
+#include "mem/page_table.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace sac {
+
+PageTable::PageTable(unsigned page_bytes, int num_chips)
+    : pageShift(floorLog2(page_bytes)),
+      perChip(static_cast<std::size_t>(num_chips), 0)
+{
+    SAC_ASSERT(isPowerOfTwo(page_bytes), "page size must be a power of two");
+    SAC_ASSERT(num_chips > 0, "need at least one chip");
+}
+
+ChipId
+PageTable::touch(Addr line_addr, ChipId toucher)
+{
+    SAC_ASSERT(toucher >= 0 &&
+               static_cast<std::size_t>(toucher) < perChip.size(),
+               "touch from unknown chip ", toucher);
+    const Addr page = line_addr >> pageShift;
+    auto [it, inserted] = table.emplace(page, toucher);
+    if (inserted)
+        ++perChip[static_cast<std::size_t>(toucher)];
+    return it->second;
+}
+
+ChipId
+PageTable::homeOf(Addr line_addr) const
+{
+    auto it = table.find(line_addr >> pageShift);
+    return it == table.end() ? invalidChip : it->second;
+}
+
+void
+PageTable::clear()
+{
+    table.clear();
+    std::fill(perChip.begin(), perChip.end(), 0);
+}
+
+} // namespace sac

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * First-touch page placement (Arunkumar et al., MCM-GPU).
+ *
+ * A page is installed in the memory partition of the chip that first
+ * accesses any line within it. The simulator calls touch() on every
+ * L1 miss; the first call for a page decides its home chip for the
+ * remainder of the run.
+ */
+
+#ifndef SAC_MEM_PAGE_TABLE_HH
+#define SAC_MEM_PAGE_TABLE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sac {
+
+/** First-touch page-to-chip mapping. */
+class PageTable
+{
+  public:
+    /** @param page_bytes page size; @param num_chips chip count. */
+    PageTable(unsigned page_bytes, int num_chips);
+
+    /**
+     * Returns the home chip of the page containing @p line_addr,
+     * installing it on @p toucher if this is the first access.
+     */
+    ChipId touch(Addr line_addr, ChipId toucher);
+
+    /** Home chip, or invalidChip if the page was never touched. */
+    ChipId homeOf(Addr line_addr) const;
+
+    /** Number of pages homed on each chip. */
+    const std::vector<std::uint64_t> &pagesPerChip() const { return perChip; }
+
+    std::uint64_t totalPages() const { return table.size(); }
+
+    /** Forgets all placements (new workload run). */
+    void clear();
+
+  private:
+    unsigned pageShift;
+    std::unordered_map<Addr, ChipId> table;
+    std::vector<std::uint64_t> perChip;
+};
+
+} // namespace sac
+
+#endif // SAC_MEM_PAGE_TABLE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The unit of transfer in the on-chip and inter-chip networks.
+ *
+ * A Packet is created when an SM cluster misses its L1 and is
+ * destroyed when the response wakes the warp (reads) or when the
+ * write ack returns (writes). The routing policy of the active LLC
+ * organization fills in the serve/bypass fields (see Fig. 6 of the
+ * paper: SL/ML/SR/MR miss paths).
+ */
+
+#ifndef SAC_NOC_PACKET_HH
+#define SAC_NOC_PACKET_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sac {
+
+/** Where a response was ultimately served from (Fig. 10 breakdown). */
+enum class ResponseOrigin : std::uint8_t {
+    None,
+    LocalLlc,   //!< LLC slice in the requesting chip
+    RemoteLlc,  //!< LLC slice in another chip
+    LocalMem,   //!< DRAM partition attached to the requesting chip
+    RemoteMem,  //!< DRAM partition of another chip
+};
+
+/** Returns a short name for a response origin. */
+const char *toString(ResponseOrigin origin);
+
+/** Network message kinds. */
+enum class PacketKind : std::uint8_t {
+    Request,     //!< L1-miss read or write travelling toward data
+    Response,    //!< data fill / write ack travelling back to the SM
+    Writeback,   //!< dirty LLC line being written to a memory partition
+    Invalidate,  //!< hardware-coherence invalidation to a sharer chip
+};
+
+/**
+ * A memory transaction in flight. Packets are small PODs passed by
+ * value through the bandwidth-limited queues.
+ */
+struct Packet
+{
+    /** Unique id, for MSHR matching and debugging. */
+    std::uint64_t id = 0;
+
+    PacketKind kind = PacketKind::Request;
+    AccessType type = AccessType::Read;
+
+    /** Line-aligned physical address. */
+    Addr lineAddr = 0;
+    /** Sector index within the line (sectored-cache design point). */
+    std::uint8_t sector = 0;
+
+    /** Requesting SM cluster. */
+    ChipId srcChip = invalidChip;
+    ClusterId srcCluster = -1;
+    int warp = -1;
+
+    /** Chip owning the page (first-touch home). */
+    ChipId homeChip = invalidChip;
+    /** Chip whose LLC slice serves the request (routing decision). */
+    ChipId serveChip = invalidChip;
+    /** Slice index within serveChip. */
+    int slice = -1;
+    /**
+     * True when the packet must bypass the LLC of the chip it is
+     * heading to (SM-side remote miss arriving at the home chip,
+     * Fig. 6 step 4).
+     */
+    bool bypassLlc = false;
+    /** Way-partition class the serve slice must allocate into. */
+    std::int8_t allocPartition = 0;
+    /** Second-level lookup at the home slice on a src-slice miss. */
+    bool homeLookup = false;
+    std::int8_t homeAllocPartition = 0;
+
+    /**
+     * True while the packet is executing the home-side leg of a
+     * two-level (Static/Dynamic) lookup.
+     */
+    bool atHome = false;
+    /** The home-side fill/lookup has completed. */
+    bool homeFilled = false;
+    /** The serve-side (requester-side) fill has completed. */
+    bool serveFilled = false;
+
+    /** Next chip this packet is travelling to on the inter-chip net. */
+    ChipId nocDst = invalidChip;
+
+    /** Response payload source: true when DRAM produced the data. */
+    bool dataFromMem = false;
+    /** Chip that produced the response data (slice or DRAM). */
+    ChipId dataChip = invalidChip;
+
+    /** Filled in on the response path. */
+    ResponseOrigin origin = ResponseOrigin::None;
+
+    /** NoC bytes this packet occupies on a link. */
+    unsigned bytes = 32;
+
+    /** Cycle the originating access was issued (latency stats). */
+    Cycle issued = 0;
+
+    /** True when the request crossed an inter-chip link at least once. */
+    bool crossedInterChip = false;
+
+    /** True iff this request came from a chip other than @p chip. */
+    bool remoteTo(ChipId chip) const { return srcChip != chip; }
+};
+
+} // namespace sac
+
+#endif // SAC_NOC_PACKET_HH

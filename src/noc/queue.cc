@@ -1,0 +1,79 @@
+#include "noc/queue.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace sac {
+
+BwQueue::BwQueue(double bytes_per_cycle, Cycle latency, std::size_t capacity)
+    : bw(bytes_per_cycle), latency_(latency), capacity_(capacity)
+{
+    SAC_ASSERT(bw > 0.0, "queue bandwidth must be positive");
+}
+
+void
+BwQueue::push(Packet pkt, Cycle now)
+{
+    SAC_ASSERT(canPush(), "push into a full BwQueue");
+    q.push_back({pkt, now + latency_});
+}
+
+void
+BwQueue::beginCycle()
+{
+    // Carry at most one cycle's worth of unused credit so fractional
+    // rates average out without allowing unbounded bursts; debt from
+    // oversized packets is repaid across cycles.
+    budget = std::min(budget + bw, 2.0 * bw);
+}
+
+const Packet *
+BwQueue::peekReady(Cycle now) const
+{
+    // Token bucket with debt: a packet drains once any credit is
+    // available and drives the balance negative, so packets larger
+    // than the per-cycle budget serialize over several cycles instead
+    // of wedging (essential for slow inter-chip links).
+    if (q.empty())
+        return nullptr;
+    const Entry &head = q.front();
+    if (head.readyAt > now || budget <= 0.0)
+        return nullptr;
+    return &head.pkt;
+}
+
+void
+BwQueue::popHead()
+{
+    SAC_ASSERT(!q.empty(), "popHead on empty queue");
+    budget -= static_cast<double>(q.front().pkt.bytes);
+    drained += q.front().pkt.bytes;
+    q.pop_front();
+}
+
+bool
+BwQueue::tryPop(Packet &out, Cycle now)
+{
+    if (q.empty())
+        return false;
+    const Entry &head = q.front();
+    if (head.readyAt > now)
+        return false;
+    if (budget <= 0.0)
+        return false;
+    budget -= static_cast<double>(head.pkt.bytes);
+    drained += head.pkt.bytes;
+    out = head.pkt;
+    q.pop_front();
+    return true;
+}
+
+void
+BwQueue::setBandwidth(double bytes_per_cycle)
+{
+    SAC_ASSERT(bytes_per_cycle > 0.0, "queue bandwidth must be positive");
+    bw = bytes_per_cycle;
+}
+
+} // namespace sac

@@ -1,0 +1,63 @@
+#include "noc/xbar.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+Xbar::Xbar(int ports, double port_bw, Cycle latency)
+{
+    SAC_ASSERT(ports > 0, "crossbar needs at least one port");
+    queues.reserve(static_cast<std::size_t>(ports));
+    for (int p = 0; p < ports; ++p)
+        queues.emplace_back(port_bw, latency);
+}
+
+bool
+Xbar::canPush(int port) const
+{
+    return queues[static_cast<std::size_t>(port)].canPush();
+}
+
+void
+Xbar::push(int port, Packet pkt, Cycle now)
+{
+    SAC_ASSERT(port >= 0 && port < ports(), "bad crossbar port ", port);
+    queues[static_cast<std::size_t>(port)].push(pkt, now);
+}
+
+void
+Xbar::beginCycle()
+{
+    for (auto &q : queues)
+        q.beginCycle();
+}
+
+bool
+Xbar::tryPop(int port, Packet &out, Cycle now)
+{
+    return queues[static_cast<std::size_t>(port)].tryPop(out, now);
+}
+
+std::size_t
+Xbar::queued(int port) const
+{
+    return queues[static_cast<std::size_t>(port)].size();
+}
+
+std::uint64_t
+Xbar::bytesDrained() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : queues)
+        total += q.bytesDrained();
+    return total;
+}
+
+void
+Xbar::setPortBandwidth(double port_bw)
+{
+    for (auto &q : queues)
+        q.setBandwidth(port_bw);
+}
+
+} // namespace sac

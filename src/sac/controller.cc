@@ -1,0 +1,52 @@
+#include "sac/controller.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+Controller::Controller(const GpuConfig &cfg, SacOrg &org)
+    : params_(cfg.sac),
+      arch(eab::ArchParams::fromConfig(cfg)),
+      org_(org),
+      prof(cfg)
+{
+}
+
+void
+Controller::beginKernel(int kernel_index, Cycle now)
+{
+    kernelIndex = kernel_index;
+    org_.setMode(LlcMode::MemorySide);
+    prof.reset();
+    profilingActive = true;
+    windowEnd = now + params_.profileWindow;
+}
+
+SacDecision
+Controller::endWindow(double measured_mem_hit_rate, Cycle now)
+{
+    SAC_ASSERT(profilingActive, "endWindow outside a profiling window");
+    (void)now;
+    profilingActive = false;
+
+    SacDecision d;
+    d.kernel = kernelIndex;
+    d.inputs = prof.workloadParams(measured_mem_hit_rate);
+    d.eab = eab::evaluate(arch, d.inputs);
+    d.chosen = d.eab.preferSmSide(params_.theta) ? LlcMode::SmSide
+                                                 : LlcMode::MemorySide;
+    org_.setMode(d.chosen);
+    decisions.push_back(d);
+    return d;
+}
+
+bool
+Controller::endKernel()
+{
+    profilingActive = false;
+    const bool was_sm_side = org_.mode() == LlcMode::SmSide;
+    org_.setMode(LlcMode::MemorySide);
+    return was_sm_side;
+}
+
+} // namespace sac

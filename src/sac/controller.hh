@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SAC runtime controller (Sections 3.2 and 3.5).
+ *
+ * Per kernel: assume memory-side, profile for a short window, feed
+ * the counters to the EAB model, and reconfigure to SM-side when its
+ * predicted EAB exceeds the memory-side EAB by more than theta. At
+ * kernel end, revert to memory-side. The System charges the drain and
+ * flush costs the controller reports.
+ */
+
+#ifndef SAC_SAC_CONTROLLER_HH
+#define SAC_SAC_CONTROLLER_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "llc/organization.hh"
+#include "sac/eab.hh"
+#include "sac/profiler.hh"
+
+namespace sac {
+
+/** Outcome of one profiling window. */
+struct SacDecision
+{
+    int kernel = 0;
+    LlcMode chosen = LlcMode::MemorySide;
+    eab::Result eab;
+    eab::WorkloadParams inputs;
+};
+
+/** Drives a SacOrg through profile/decide/revert per kernel. */
+class Controller
+{
+  public:
+    Controller(const GpuConfig &cfg, SacOrg &org);
+
+    /** Kernel launch: back to memory-side, start profiling. */
+    void beginKernel(int kernel_index, Cycle now);
+
+    /** True while the profiling window is still open. */
+    bool profiling(Cycle now) const
+    {
+        return profilingActive && now < windowEnd;
+    }
+
+    /** Cycle at which the window closes. */
+    Cycle windowEndCycle() const { return windowEnd; }
+
+    /**
+     * Closes the window: evaluates the EAB model and flips the
+     * organization if SM-side wins. @p measured_mem_hit_rate is the
+     * LLC hit rate observed during the window.
+     * @return the decision (also recorded in history()).
+     */
+    SacDecision endWindow(double measured_mem_hit_rate, Cycle now);
+
+    /** Kernel end: reverts to memory-side. True if a flush is needed. */
+    bool endKernel();
+
+    Profiler &profiler() { return prof; }
+    const Profiler &profiler() const { return prof; }
+
+    LlcMode mode() const { return org_.mode(); }
+    const std::vector<SacDecision> &history() const { return decisions; }
+    const SacParams &params() const { return params_; }
+
+  private:
+    SacParams params_;
+    eab::ArchParams arch;
+    SacOrg &org_;
+    Profiler prof;
+    bool profilingActive = false;
+    Cycle windowEnd = 0;
+    int kernelIndex = 0;
+    std::vector<SacDecision> decisions;
+};
+
+} // namespace sac
+
+#endif // SAC_SAC_CONTROLLER_HH

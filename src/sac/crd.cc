@@ -1,0 +1,178 @@
+#include "sac/crd.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace sac {
+
+Crd::Crd(int sets, int ways, int num_chips, unsigned sectors_per_line,
+         std::uint64_t sample_rate)
+    : sets_(sets),
+      ways_(ways),
+      chips(num_chips),
+      sectors(sectors_per_line),
+      sampleRate(sample_rate ? sample_rate : 1),
+      blocks(static_cast<std::size_t>(sets) * static_cast<std::size_t>(ways))
+{
+    SAC_ASSERT(sets > 0 && ways > 0, "bad CRD geometry");
+    SAC_ASSERT(num_chips > 0 && num_chips <= 32, "bad CRD chip count");
+    for (auto &b : blocks)
+        b.bits.assign(static_cast<std::size_t>(chips), 0);
+}
+
+bool
+Crd::sampled(Addr line_addr) const
+{
+    // Sampling hash is independent of the set-index hash below.
+    return mix64(line_addr ^ 0xc2d7c2d7ULL) % sampleRate == 0;
+}
+
+int
+Crd::Block::weight() const
+{
+    if (!valid)
+        return 0;
+    int w = 0;
+    for (const auto mask : bits)
+        w += mask != 0 ? 1 : 0;
+    return w;
+}
+
+void
+Crd::enforceBudget(std::uint64_t set, const Block *keep)
+{
+    Block *base = &blocks[set * static_cast<std::uint64_t>(ways_)];
+    const int budget = ways_; // one slot per way, weights may exceed 1
+    for (;;) {
+        int total = 0;
+        for (int w = 0; w < ways_; ++w)
+            total += base[w].weight();
+        if (total <= budget)
+            return;
+        // Evict the LRU valid block other than `keep`.
+        Block *victim = nullptr;
+        for (int w = 0; w < ways_; ++w) {
+            Block &b = base[w];
+            if (!b.valid || &b == keep)
+                continue;
+            if (!victim || b.lastUse < victim->lastUse)
+                victim = &b;
+        }
+        if (!victim)
+            return; // only `keep` is resident; allow transient overflow
+        victim->valid = false;
+        for (auto &mask : victim->bits)
+            mask = 0;
+    }
+}
+
+void
+Crd::access(Addr line_addr, unsigned sector, ChipId src)
+{
+    SAC_ASSERT(src >= 0 && src < chips, "CRD access from unknown chip");
+    SAC_ASSERT(sector < sectors, "CRD sector out of range");
+    if (!sampled(line_addr))
+        return;
+
+    ++requests_;
+    const auto set = mix64(line_addr) % static_cast<std::uint64_t>(sets_);
+    Block *base = &blocks[set * static_cast<std::uint64_t>(ways_)];
+    const std::uint32_t sector_bit = 1u << sector;
+
+    for (int w = 0; w < ways_; ++w) {
+        Block &b = base[w];
+        if (b.valid && b.tag == line_addr) {
+            b.lastUse = ++useClock;
+            auto &mask = b.bits[static_cast<std::size_t>(src)];
+            if (mask & sector_bit) {
+                // Chip src touched this line (sector) before: under an
+                // SM-side LLC its replica would serve this access.
+                ++hits_;
+            } else {
+                // First touch by src. Distributed CTA scheduling makes
+                // the chips statistically symmetric, so a line already
+                // proven truly shared (two or more other chips have
+                // touched it) will be a steady-state replica hit for
+                // src as well — count it as one so the estimate
+                // converges within a short profiling window instead of
+                // needing one observed reuse per (line, chip) pair.
+                int other_sharers = 0;
+                for (int c = 0; c < chips; ++c) {
+                    if (c != src &&
+                        (b.bits[static_cast<std::size_t>(c)] & sector_bit)) {
+                        ++other_sharers;
+                    }
+                }
+                if (other_sharers >= 2)
+                    ++hits_;
+                const bool grew = mask == 0;
+                mask |= sector_bit;
+                // A new sharer means a new replica slot system-wide.
+                if (grew)
+                    enforceBudget(set, &b);
+            }
+            return;
+        }
+    }
+
+    // Miss in the CRD: allocate, preferring an invalid way, else LRU.
+    Block *victim = &base[0];
+    for (int w = 0; w < ways_; ++w) {
+        Block &b = base[w];
+        if (!b.valid) {
+            victim = &b;
+            break;
+        }
+        if (b.lastUse < victim->lastUse)
+            victim = &b;
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->lastUse = ++useClock;
+    for (auto &mask : victim->bits)
+        mask = 0;
+    victim->bits[static_cast<std::size_t>(src)] = sector_bit;
+    enforceBudget(set, victim);
+}
+
+double
+Crd::predictedHitRate(double fallback) const
+{
+    if (requests_ == 0)
+        return fallback;
+    return static_cast<double>(hits_) / static_cast<double>(requests_);
+}
+
+void
+Crd::resetCounters()
+{
+    requests_ = 0;
+    hits_ = 0;
+}
+
+void
+Crd::reset()
+{
+    for (auto &b : blocks) {
+        b.valid = false;
+        b.tag = 0;
+        b.lastUse = 0;
+        for (auto &mask : b.bits)
+            mask = 0;
+    }
+    useClock = 0;
+    requests_ = 0;
+    hits_ = 0;
+}
+
+std::uint64_t
+Crd::storageBytes() const
+{
+    // 30-bit tag + chips x sectors presence bits per block (paper
+    // geometry: (30 + 4) x 128 blocks = 544 B conventional).
+    const std::uint64_t bits_per_block =
+        30 + static_cast<std::uint64_t>(chips) * sectors;
+    return bits_per_block * blocks.size() / 8;
+}
+
+} // namespace sac

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Chip Request Directory (CRD), Section 3.4 / Fig. 7.
+ *
+ * The CRD predicts the SM-side LLC hit rate while the system runs
+ * memory-side. One CRD sits at each chip and observes every request
+ * whose home partition is that chip (under a memory-side LLC, all
+ * such requests arrive there). It samples a subset of lines into a
+ * small tag structure (8 sets x 16 ways in the paper) where each
+ * block holds one presence bit per chip (per chip and sector for
+ * sectored caches): the bit for chip i is set on i's first access and
+ * a subsequent access from i counts as a predicted SM-side hit —
+ * capturing that the SM-side LLC would have replicated the line into
+ * chip i by then.
+ *
+ * Capacity pressure (the replication-induced thrashing that makes
+ * large truly shared working sets memory-side preferred) is modelled
+ * with replication-degree-aware slot accounting, following the RDD
+ * [Zhao et al., MICRO'20] lineage the paper cites: under an SM-side
+ * LLC a line replicated in k chips occupies k cache lines system-wide,
+ * so a CRD entry *weighs* popcount(chip bits) slots against a per-set
+ * slot budget, and LRU entries are evicted until the budget holds.
+ * The sampling ratio maps the budget onto the system-wide LLC slots
+ * available to one home partition's lines.
+ */
+
+#ifndef SAC_SAC_CRD_HH
+#define SAC_SAC_CRD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sac {
+
+/** One chip's CRD. */
+class Crd
+{
+  public:
+    /**
+     * @param sets CRD sets (paper: 8)
+     * @param ways CRD ways (paper: 16)
+     * @param num_chips chips tracked per block (paper: 4 bits)
+     * @param sectors_per_line 1 for conventional caches
+     * @param sample_rate track 1 out of every @p sample_rate lines
+     */
+    Crd(int sets, int ways, int num_chips, unsigned sectors_per_line,
+        std::uint64_t sample_rate);
+
+    /**
+     * Observes a request from @p src; updates sampled state and the
+     * request/hit counters.
+     */
+    void access(Addr line_addr, unsigned sector, ChipId src);
+
+    /** Sampled requests observed. */
+    std::uint64_t requests() const { return requests_; }
+    /** Sampled requests predicted to hit under the SM-side LLC. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** hits() / requests(); falls back to @p fallback with no samples. */
+    double predictedHitRate(double fallback = 0.0) const;
+
+    /** Clears blocks and counters (new profiling window). */
+    void reset();
+
+    /**
+     * Zeroes the request/hit counters but keeps the learned tag and
+     * chip-bit state. The runtime calls this at the window midpoint
+     * so the prediction measures warmed-up behaviour, mirroring the
+     * memory-side hit-rate measurement.
+     */
+    void resetCounters();
+
+    /**
+     * Storage in bytes: tag + per-chip (x per-sector) bits per block,
+     * as in the paper's overhead analysis (544 B conventional / 736 B
+     * sectored for the 8x16 geometry, Section 3.6).
+     */
+    std::uint64_t storageBytes() const;
+
+  private:
+    struct Block
+    {
+        bool valid = false;
+        Addr tag = 0;
+        /** bits[chip] is a per-sector presence mask. */
+        std::vector<std::uint32_t> bits;
+        std::uint64_t lastUse = 0;
+
+        /** Replica slots this entry represents (chips with any bit). */
+        int weight() const;
+    };
+
+    bool sampled(Addr line_addr) const;
+
+    /**
+     * Evicts LRU blocks from @p set (never @p keep) until its summed
+     * weight is at most the per-set slot budget.
+     */
+    void enforceBudget(std::uint64_t set, const Block *keep);
+
+    int sets_;
+    int ways_;
+    int chips;
+    unsigned sectors;
+    std::uint64_t sampleRate;
+    std::uint64_t useClock = 0;
+    std::uint64_t requests_ = 0;
+    std::uint64_t hits_ = 0;
+    std::vector<Block> blocks; // sets_ x ways_
+};
+
+} // namespace sac
+
+#endif // SAC_SAC_CRD_HH

@@ -1,0 +1,107 @@
+#include "sac/eab.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace sac::eab {
+
+namespace {
+
+constexpr double unlimited = std::numeric_limits<double>::infinity();
+
+/** EAB_{l|r} = min(B_SM_LLC, B_LLC_hit + min(B_LLC_miss, B_LLC_mem, B_mem)) */
+double
+eabTerm(double b_sm_llc, double b_llc_hit, double b_llc_miss,
+        double b_llc_mem, double b_mem)
+{
+    return std::min(b_sm_llc,
+                    b_llc_hit + std::min({b_llc_miss, b_llc_mem, b_mem}));
+}
+
+} // namespace
+
+ArchParams
+ArchParams::fromConfig(const GpuConfig &cfg)
+{
+    ArchParams p;
+    p.bIntra = cfg.intraBwPerChip() * cfg.numChips;
+    p.bInter = cfg.interChipBw * cfg.numChips;
+    p.bLlc = cfg.sliceBw * cfg.totalSlices();
+    p.bMem = cfg.dramChannelBw * cfg.totalChannels();
+    return p;
+}
+
+Result
+evaluate(const ArchParams &arch, const WorkloadParams &wl)
+{
+    SAC_ASSERT(wl.rLocal >= 0.0 && wl.rLocal <= 1.0, "bad rLocal");
+    SAC_ASSERT(wl.hitMem >= 0.0 && wl.hitMem <= 1.0, "bad hitMem");
+    SAC_ASSERT(wl.hitSm >= 0.0 && wl.hitSm <= 1.0, "bad hitSm");
+    const double r_local = wl.rLocal;
+    const double r_remote = 1.0 - wl.rLocal;
+
+    Result res;
+
+    // --- Memory-side configuration (Table 1, left) --------------------
+    {
+        const double hit_bw = arch.bLlc * wl.lsuMem * wl.hitMem;
+        const double miss_bw = arch.bLlc * wl.lsuMem * (1.0 - wl.hitMem);
+        // Local requests ride the intra-chip network; remote requests
+        // ride the inter-chip links. Misses at the home slice access
+        // the local memory over point-to-point links (B_LLC_mem = inf).
+        res.memSide.local =
+            eabTerm(arch.bIntra, hit_bw * r_local, miss_bw * r_local,
+                    unlimited, arch.bMem * r_local);
+        res.memSide.remote =
+            eabTerm(arch.bInter, hit_bw * r_remote, miss_bw * r_remote,
+                    unlimited, arch.bMem * r_remote);
+    }
+
+    // --- SM-side configuration (Table 1, right) -----------------------
+    {
+        const double hit_bw = arch.bLlc * wl.lsuSm * wl.hitSm;
+        const double miss_bw = arch.bLlc * wl.lsuSm * (1.0 - wl.hitSm);
+        // Local and remote requests share the intra-chip network; a
+        // remote miss must reach the remote partition over the
+        // inter-chip links (B_LLC_mem = B_inter).
+        res.smSide.local =
+            eabTerm(arch.bIntra * r_local, hit_bw * r_local,
+                    miss_bw * r_local, unlimited, arch.bMem * r_local);
+        res.smSide.remote =
+            eabTerm(arch.bIntra * r_remote, hit_bw * r_remote,
+                    miss_bw * r_remote, arch.bInter,
+                    arch.bMem * r_remote);
+    }
+
+    return res;
+}
+
+double
+sliceUniformity(const std::vector<std::uint64_t> &slice_requests)
+{
+    SAC_ASSERT(!slice_requests.empty(), "LSU over zero slices");
+    const auto max_req =
+        *std::max_element(slice_requests.begin(), slice_requests.end());
+    if (max_req == 0)
+        return 1.0;
+    double sum = 0.0;
+    for (const auto r : slice_requests)
+        sum += static_cast<double>(r) / static_cast<double>(max_req);
+    return sum / static_cast<double>(slice_requests.size());
+}
+
+std::string
+Result::summary() const
+{
+    std::ostringstream os;
+    os << "EAB mem-side " << memSide.total() << " (L " << memSide.local
+       << " + R " << memSide.remote << "), SM-side " << smSide.total()
+       << " (L " << smSide.local << " + R " << smSide.remote << ")";
+    return os.str();
+}
+
+} // namespace sac::eab

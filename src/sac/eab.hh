@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Effective Available Bandwidth (EAB) analytical model
+ * (Section 3.3, Tables 1 and 2 of the paper).
+ *
+ * EAB is the bandwidth the system can provide given the workload's
+ * access pattern:
+ *
+ *   EAB_total = EAB_local + EAB_remote
+ *   EAB_{l|r} = min(B_SM_LLC, B_LLC_hit + min(B_LLC_miss,
+ *                                             B_LLC_mem, B_mem))
+ *
+ * with the per-configuration terms of Table 1. The runtime compares
+ * the two configurations' EAB_total values; the SM-side organization
+ * wins only when its EAB exceeds the memory-side EAB by more than the
+ * threshold theta (to cover the coherence overhead the model leaves
+ * out, Section 3.5).
+ */
+
+#ifndef SAC_SAC_EAB_HH
+#define SAC_SAC_EAB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace sac::eab {
+
+/** Architecture-only model parameters (Table 2, system aggregates). */
+struct ArchParams
+{
+    double bIntra = 0.0; //!< intra-chip NoC bandwidth (all chips)
+    double bInter = 0.0; //!< inter-chip link bandwidth (all chips)
+    double bLlc = 0.0;   //!< raw LLC bandwidth (all slices)
+    double bMem = 0.0;   //!< raw memory bandwidth (all channels)
+
+    /** Derives the aggregates from a system configuration. */
+    static ArchParams fromConfig(const GpuConfig &cfg);
+};
+
+/** Workload/configuration-dependent inputs (Table 2). */
+struct WorkloadParams
+{
+    double rLocal = 1.0;  //!< fraction of requests to the local partition
+    double lsuMem = 1.0;  //!< LLC slice uniformity, memory-side
+    double lsuSm = 1.0;   //!< LLC slice uniformity, SM-side
+    double hitMem = 0.0;  //!< LLC hit rate, memory-side (measured)
+    double hitSm = 0.0;   //!< LLC hit rate, SM-side (CRD prediction)
+};
+
+/** EAB of one configuration, with its local/remote split. */
+struct ConfigEab
+{
+    double local = 0.0;
+    double remote = 0.0;
+    double total() const { return local + remote; }
+};
+
+/** Model output for both configurations. */
+struct Result
+{
+    ConfigEab memSide;
+    ConfigEab smSide;
+
+    /** True when SM-side beats memory-side by more than @p theta. */
+    bool preferSmSide(double theta) const
+    {
+        return smSide.total() > (1.0 + theta) * memSide.total();
+    }
+
+    std::string summary() const;
+};
+
+/** Evaluates the model. */
+Result evaluate(const ArchParams &arch, const WorkloadParams &wl);
+
+/**
+ * LLC Slice Uniformity over per-slice request counts:
+ * LSU = (1/N) * sum_i R_i / max_i R_i; 1 with no requests at all.
+ */
+double sliceUniformity(const std::vector<std::uint64_t> &slice_requests);
+
+} // namespace sac::eab
+
+#endif // SAC_SAC_EAB_HH

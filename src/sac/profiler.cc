@@ -1,0 +1,110 @@
+#include "sac/profiler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace sac {
+
+Profiler::Profiler(const GpuConfig &cfg)
+    : numChips(cfg.numChips),
+      slicesPerChip(cfg.slicesPerChip),
+      memSliceReq(static_cast<std::size_t>(cfg.totalSlices()), 0),
+      smSliceReq(static_cast<std::size_t>(cfg.totalSlices()), 0)
+{
+    // The slots available to one home partition's lines across all
+    // SM-side LLCs equal the per-chip line count (each chip devotes
+    // ~1/numChips of its capacity to each home). Scale the CRD's set
+    // count by the chip count so single-sharer lines can fill the
+    // budget, and pick the sampling ratio so the per-set slot budget
+    // (ways) maps onto that system-wide slot pool (see crd.hh).
+    const auto llc_lines = cfg.llcBytesPerChip / cfg.lineBytes;
+    const int crd_sets = cfg.sac.crdSets * cfg.numChips;
+    const auto slot_entries = static_cast<std::uint64_t>(crd_sets) *
+                              static_cast<std::uint64_t>(cfg.sac.crdWays);
+    const auto sample_rate =
+        std::max<std::uint64_t>(1, llc_lines / slot_entries);
+    crds.reserve(static_cast<std::size_t>(numChips));
+    for (int c = 0; c < numChips; ++c) {
+        crds.emplace_back(crd_sets, cfg.sac.crdWays, numChips,
+                          cfg.sectorsPerLine, sample_rate);
+    }
+}
+
+void
+Profiler::onL1Miss(ChipId src, ChipId home, int slice, Addr line_addr,
+                   unsigned sector)
+{
+    SAC_ASSERT(src >= 0 && src < numChips, "bad source chip");
+    SAC_ASSERT(home >= 0 && home < numChips, "bad home chip");
+    SAC_ASSERT(slice >= 0 && slice < slicesPerChip, "bad slice index");
+    ++total;
+    if (src == home)
+        ++local;
+    // Memory-side: the request is served by the home chip's slice.
+    ++memSliceReq[static_cast<std::size_t>(home * slicesPerChip + slice)];
+    // SM-side (hypothetical): it would be served by the source chip's
+    // same-index slice.
+    ++smSliceReq[static_cast<std::size_t>(src * slicesPerChip + slice)];
+    // The home chip's CRD sees every request homed there.
+    crds[static_cast<std::size_t>(home)].access(line_addr, sector, src);
+}
+
+void
+Profiler::restartMeasurement()
+{
+    for (auto &crd : crds)
+        crd.resetCounters();
+}
+
+void
+Profiler::reset()
+{
+    total = 0;
+    local = 0;
+    std::fill(memSliceReq.begin(), memSliceReq.end(), 0);
+    std::fill(smSliceReq.begin(), smSliceReq.end(), 0);
+    for (auto &crd : crds)
+        crd.reset();
+}
+
+eab::WorkloadParams
+Profiler::workloadParams(double measured_mem_hit_rate) const
+{
+    eab::WorkloadParams wl;
+    wl.rLocal = total ? static_cast<double>(local) /
+                            static_cast<double>(total)
+                      : 1.0;
+    wl.lsuMem = eab::sliceUniformity(memSliceReq);
+    wl.lsuSm = eab::sliceUniformity(smSliceReq);
+    wl.hitMem = measured_mem_hit_rate;
+
+    std::uint64_t crd_requests = 0;
+    std::uint64_t crd_hits = 0;
+    for (const auto &crd : crds) {
+        crd_requests += crd.requests();
+        crd_hits += crd.hits();
+    }
+    wl.hitSm = crd_requests ? static_cast<double>(crd_hits) /
+                                  static_cast<double>(crd_requests)
+                            : measured_mem_hit_rate;
+    return wl;
+}
+
+const Crd &
+Profiler::crd(ChipId chip) const
+{
+    return crds[static_cast<std::size_t>(chip)];
+}
+
+std::uint64_t
+Profiler::storageBytesPerChip() const
+{
+    // CRD + two 16-bit LSU counters per local slice + four 24-bit
+    // bookkeeping counters (Section 3.6).
+    const auto lsu_bytes =
+        2ull * static_cast<std::uint64_t>(slicesPerChip) * 2ull;
+    return crds.front().storageBytes() + lsu_bytes + 12;
+}
+
+} // namespace sac

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SAC's profiling hardware (Section 3.4, Fig. 7).
+ *
+ * During the profiling window at each kernel's start (run under the
+ * memory-side configuration), the profiler collects per chip:
+ *
+ *  - total requests and local requests (for R_local),
+ *  - per-slice request counters for the memory-side configuration
+ *    (actual) and the SM-side configuration (hypothetical: where the
+ *    request would have gone), for the two LSU values,
+ *  - the CRD (predicting the SM-side hit rate).
+ *
+ * The memory-side hit rate comes from existing performance counters —
+ * the System snapshots slice stats around the window.
+ *
+ * Total cost per chip: CRD (544 B conventional) + 2 x N/4 16-bit LSU
+ * counters (64 B) + four 24-bit counters (12 B) = 620 B, the paper's
+ * Section 3.6 figure.
+ */
+
+#ifndef SAC_SAC_PROFILER_HH
+#define SAC_SAC_PROFILER_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "sac/crd.hh"
+#include "sac/eab.hh"
+
+namespace sac {
+
+/** Per-window profiling counters + CRDs. */
+class Profiler
+{
+  public:
+    explicit Profiler(const GpuConfig &cfg);
+
+    /**
+     * Observes one L1 miss (issued while profiling, memory-side).
+     *
+     * @param src requesting chip
+     * @param home the line's home chip
+     * @param slice slice index the address maps to (chip-agnostic)
+     * @param line_addr line address (CRD input)
+     * @param sector sector index
+     */
+    void onL1Miss(ChipId src, ChipId home, int slice, Addr line_addr,
+                  unsigned sector);
+
+    /** Clears everything for a new profiling window. */
+    void reset();
+
+    /**
+     * Restarts the rate measurements (CRD hit counters) while keeping
+     * learned state — called at the window midpoint to skip the
+     * cold-start transient.
+     */
+    void restartMeasurement();
+
+    /**
+     * Produces the workload-dependent EAB inputs. The memory-side hit
+     * rate is measured outside (slice counters) and passed in.
+     */
+    eab::WorkloadParams workloadParams(double measured_mem_hit_rate) const;
+
+    std::uint64_t totalRequests() const { return total; }
+    std::uint64_t localRequests() const { return local; }
+    const Crd &crd(ChipId chip) const;
+
+    /** Per-chip profiling storage (the paper's 620 B figure). */
+    std::uint64_t storageBytesPerChip() const;
+
+  private:
+    int numChips;
+    int slicesPerChip;
+    std::uint64_t total = 0;
+    std::uint64_t local = 0;
+    /** Per-slice request counts, memory-side placement (global index). */
+    std::vector<std::uint64_t> memSliceReq;
+    /** Per-slice request counts, hypothetical SM-side placement. */
+    std::vector<std::uint64_t> smSliceReq;
+    std::vector<Crd> crds; // one per chip
+};
+
+} // namespace sac
+
+#endif // SAC_SAC_PROFILER_HH

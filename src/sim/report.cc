@@ -1,0 +1,84 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace sac::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    SAC_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SAC_ASSERT(cells.size() == headers_.size(),
+               "row has ", cells.size(), " cells, expected ",
+               headers_.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c == 0) {
+                os << std::left << std::setw(static_cast<int>(width[c]))
+                   << cells[c];
+            } else {
+                os << "  " << std::right
+                   << std::setw(static_cast<int>(width[c])) << cells[c];
+            }
+        }
+        os << "\n";
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (const auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+num(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+times(double value)
+{
+    return num(value, 2) + "x";
+}
+
+std::string
+percent(double value)
+{
+    return num(value * 100.0, 1) + "%";
+}
+
+void
+banner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace sac::report

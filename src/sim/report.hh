@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table formatting used by the benches to print paper-style rows.
+ */
+
+#ifndef SAC_SIM_REPORT_HH
+#define SAC_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sac::report {
+
+/** Simple fixed-width table writer. */
+class Table
+{
+  public:
+    /** @param headers column titles (first column is left-aligned). */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Adds one row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders with a separator under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Formats a double with @p decimals digits. */
+std::string num(double value, int decimals = 2);
+
+/** Formats a ratio as "1.76x". */
+std::string times(double value);
+
+/** Formats a fraction as "76%". */
+std::string percent(double value);
+
+/** Prints a section banner ("=== Figure 8 ... ==="). */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace sac::report
+
+#endif // SAC_SIM_REPORT_HH

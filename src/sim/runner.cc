@@ -1,0 +1,77 @@
+#include "sim/runner.hh"
+
+#include "common/log.hh"
+#include "workload/tracegen.hh"
+
+namespace sac {
+
+double
+Runner::dataScale(const GpuConfig &cfg)
+{
+    const double paper_llc = 16.0 * 1024.0 * 1024.0;
+    return paper_llc / static_cast<double>(cfg.llcBytesTotal());
+}
+
+std::vector<KernelDescriptor>
+Runner::kernelsFor(const WorkloadProfile &profile)
+{
+    std::vector<KernelDescriptor> kernels;
+    kernels.reserve(static_cast<std::size_t>(profile.numKernels));
+    for (int k = 0; k < profile.numKernels; ++k) {
+        KernelDescriptor d;
+        d.index = k;
+        d.name = profile.name + "-k" + std::to_string(k);
+        d.accessesPerWarp = profile.phase(k).accessesPerWarp;
+        kernels.push_back(d);
+    }
+    return kernels;
+}
+
+RunResult
+Runner::run(const WorkloadProfile &profile, const GpuConfig &cfg,
+            OrgKind kind, std::uint64_t seed)
+{
+    GpuConfig run_cfg = cfg;
+    run_cfg.seed = seed;
+    run_cfg.validate();
+
+    const WorkloadProfile scaled = profile.scaledData(dataScale(run_cfg));
+    SharingTraceGen gen(scaled, run_cfg, seed);
+    System system(run_cfg, kind, gen);
+    return system.run(kernelsFor(scaled));
+}
+
+std::map<OrgKind, RunResult>
+Runner::runAll(const WorkloadProfile &profile, const GpuConfig &cfg,
+               std::uint64_t seed)
+{
+    std::map<OrgKind, RunResult> out;
+    for (const auto kind :
+         {OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
+          OrgKind::DynamicLlc, OrgKind::Sac}) {
+        out.emplace(kind, run(profile, cfg, kind, seed));
+    }
+    return out;
+}
+
+double
+speedup(const RunResult &baseline, const RunResult &result)
+{
+    SAC_ASSERT(result.cycles > 0, "speedup of an empty run");
+    return static_cast<double>(baseline.cycles) /
+           static_cast<double>(result.cycles);
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    SAC_ASSERT(!values.empty(), "harmonic mean of nothing");
+    double denom = 0.0;
+    for (const auto v : values) {
+        SAC_ASSERT(v > 0.0, "harmonic mean needs positive values");
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+} // namespace sac

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment runner: one call builds the generator, the system and
+ * the kernel sequence for a (workload, config, organization) triple
+ * and returns the measurements. All benches and examples go through
+ * here, so every experiment shares identical methodology.
+ */
+
+#ifndef SAC_SIM_RUNNER_HH
+#define SAC_SIM_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "llc/organization.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace sac {
+
+/** Runs complete experiments. */
+class Runner
+{
+  public:
+    /**
+     * Runs @p profile (full-scale Table 4 sizes) on @p cfg under
+     * @p kind. The data set is scaled by the config's LLC ratio to
+     * the paper machine so data:capacity ratios are preserved.
+     */
+    static RunResult run(const WorkloadProfile &profile,
+                         const GpuConfig &cfg, OrgKind kind,
+                         std::uint64_t seed = 1);
+
+    /** Runs all five organizations; keyed by organization name. */
+    static std::map<OrgKind, RunResult> runAll(
+        const WorkloadProfile &profile, const GpuConfig &cfg,
+        std::uint64_t seed = 1);
+
+    /** Data-scale divisor matching @p cfg (paper LLC / cfg LLC). */
+    static double dataScale(const GpuConfig &cfg);
+
+    /** Kernel sequence implied by a profile's phases. */
+    static std::vector<KernelDescriptor> kernelsFor(
+        const WorkloadProfile &profile);
+};
+
+/** Speedup of @p result over @p baseline (cycles ratio). */
+double speedup(const RunResult &baseline, const RunResult &result);
+
+/** Harmonic mean of speedups (the paper's average). */
+double harmonicMean(const std::vector<double> &values);
+
+} // namespace sac
+
+#endif // SAC_SIM_RUNNER_HH

@@ -1,0 +1,507 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "noc/routing.hh"
+
+namespace sac {
+
+namespace {
+
+/** Hard per-kernel cycle cap: a livelock indicates a simulator bug. */
+constexpr Cycle maxKernelCycles = 50'000'000;
+
+constexpr unsigned invalidateBytes = 16;
+
+} // namespace
+
+System::System(const GpuConfig &cfg, OrgKind kind, TraceSource &trace)
+    : cfg_(cfg),
+      map(cfg.slicesPerChip, cfg.channelsPerChip, cfg.lineBytes),
+      pages(cfg.pageBytes, cfg.numChips),
+      trace_(trace),
+      org(Organization::make(kind)),
+      coherence(cfg.coherence, cfg.numChips),
+      icn(cfg.numChips, cfg.interChipBw, cfg.interChipLatency),
+      chipDramSnapshot(static_cast<std::size_t>(cfg.numChips), 0),
+      chipIcnInBytes(static_cast<std::size_t>(cfg.numChips), 0),
+      chipIcnSnapshot(static_cast<std::size_t>(cfg.numChips), 0)
+{
+    cfg_.validate();
+
+    if (kind == OrgKind::Sac) {
+        sacOrg = static_cast<SacOrg *>(org.get());
+        controller = std::make_unique<Controller>(cfg_, *sacOrg);
+    }
+    if (org->dynamicPartitioning()) {
+        dynCtrl = std::make_unique<DynamicPartitionController>(
+            cfg_.dynamicLlc, cfg_.numChips, cfg_.llcWays);
+    }
+
+    chips.reserve(static_cast<std::size_t>(cfg_.numChips));
+    for (ChipId c = 0; c < cfg_.numChips; ++c)
+        chips.push_back(std::make_unique<Chip>(cfg_, map, c, trace_, *this));
+
+    const int split = org->initialWaySplit(cfg_.llcWays);
+    for (auto &chip : chips) {
+        chip->setWaySplit(split);
+        chip->setDirectBypass(org->separateRemoteNoc());
+    }
+
+    result.organization = org->name();
+}
+
+System::~System() = default;
+
+void
+System::injectMiss(Packet &&pkt, Cycle now)
+{
+    const ChipId home = pages.touch(pkt.lineAddr, pkt.srcChip);
+    pkt.homeChip = home;
+
+    const RoutePlan plan =
+        org->routing().route(pkt.lineAddr, pkt.srcChip, home, map);
+    applyRoute(pkt, plan);
+
+    if (controller && windowOpen) {
+        controller->profiler().onL1Miss(pkt.srcChip, home, plan.slice,
+                                        pkt.lineAddr, pkt.sector);
+    }
+
+    if (pkt.serveChip == pkt.srcChip) {
+        chips[static_cast<std::size_t>(pkt.srcChip)]->pushLocalRequest(
+            pkt, now);
+    } else {
+        icnSend(pkt.srcChip, pkt.serveChip, pkt);
+    }
+}
+
+void
+System::icnSend(ChipId src, ChipId dst, Packet pkt)
+{
+    chipIcnInBytes[static_cast<std::size_t>(dst)] += pkt.bytes;
+    icn.send(src, dst, std::move(pkt), clock);
+}
+
+void
+System::handleWrite(const Packet &pkt, ChipId writer)
+{
+    if (!org->cachesRemoteData())
+        return;
+    // Software coherence defers everything to kernel-boundary flushes.
+    for (const ChipId target :
+         coherence.invalidationTargets(pkt.lineAddr, writer)) {
+        Packet inv;
+        inv.kind = PacketKind::Invalidate;
+        inv.lineAddr = pkt.lineAddr;
+        inv.srcChip = writer;
+        inv.homeChip = pkt.homeChip;
+        inv.bytes = invalidateBytes;
+        if (target == writer)
+            continue;
+        icnSend(writer, target, inv);
+    }
+}
+
+void
+System::replicaAdded(Addr line_addr, ChipId chip)
+{
+    if (coherence.kind() == CoherenceKind::Hardware)
+        coherence.directory().addSharer(line_addr, chip);
+}
+
+void
+System::replicaRemoved(Addr line_addr, ChipId chip)
+{
+    if (coherence.kind() == CoherenceKind::Hardware)
+        coherence.directory().removeSharer(line_addr, chip);
+}
+
+void
+System::countResponse(const Packet &pkt)
+{
+    ++respByOrigin[static_cast<std::size_t>(pkt.origin)];
+}
+
+void
+System::tick()
+{
+    icn.beginCycle();
+
+    // 1. SMs issue (into local slice ports or the inter-chip net).
+    for (auto &chip : chips)
+        chip->tickClusters(clock, *this);
+
+    // 2. Inter-chip movement, then arrival dispatch.
+    icn.tick(clock);
+    Packet pkt;
+    for (auto &chip : chips) {
+        while (icn.receive(chip->id(), pkt, clock))
+            chip->acceptIcnArrival(pkt, clock);
+    }
+
+    // 3. LLC slices, then memory.
+    for (auto &chip : chips)
+        chip->tickSlices(clock);
+    for (auto &chip : chips)
+        chip->tickMemory(clock);
+
+    ++clock;
+}
+
+bool
+System::allDone() const
+{
+    for (const auto &chip : chips) {
+        if (!chip->clustersDone())
+            return false;
+    }
+    return true;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+System::llcTotals() const
+{
+    std::uint64_t req = 0;
+    std::uint64_t hits = 0;
+    for (const auto &chip : chips) {
+        for (int s = 0; s < chip->numSlices(); ++s) {
+            req += chip->slice(s).stats().requests;
+            hits += chip->slice(s).stats().hits;
+        }
+    }
+    return {req, hits};
+}
+
+void
+System::launchKernel(const KernelDescriptor &kernel)
+{
+    trace_.beginKernel(kernel.index);
+    for (auto &chip : chips)
+        chip->beginKernel(kernel.accessesPerWarp, clock);
+    kernelStart = clock;
+
+    currentKernel = kernel.index;
+    if (controller)
+        startProfiling();
+    if (dynCtrl) {
+        dynCtrl->reset();
+        for (auto &chip : chips)
+            chip->setWaySplit(dynCtrl->localWays(chip->id()));
+        lastEpoch = clock;
+        for (auto &chip : chips) {
+            chipDramSnapshot[static_cast<std::size_t>(chip->id())] =
+                chip->memCtrl().bytesServed();
+            chipIcnSnapshot[static_cast<std::size_t>(chip->id())] =
+                chipIcnInBytes[static_cast<std::size_t>(chip->id())];
+        }
+    }
+}
+
+void
+System::startProfiling()
+{
+    SAC_ASSERT(controller != nullptr, "profiling without a controller");
+    if (sacOrg->mode() == LlcMode::SmSide) {
+        // Periodic re-profiling from an SM-side phase: revert to the
+        // memory-side configuration first (drain + flush, Section 3.6).
+        const Cycle done = flushLlc(/*replicas_only=*/false);
+        for (auto &chip : chips)
+            chip->pauseClusters(done);
+        result.flushStallCycles += done - clock;
+    }
+    controller->beginKernel(currentKernel, clock);
+    const auto [req, hits] = llcTotals();
+    windowReqSnapshot = req;
+    windowHitSnapshot = hits;
+    windowOpen = true;
+    windowMidTaken = false;
+    windowMid = clock + controller->params().profileWindow / 2;
+}
+
+void
+System::closeProfilingWindow()
+{
+    windowOpen = false;
+    windowClosedAt = clock;
+    const auto [req, hits] = llcTotals();
+    const auto dreq = req - windowReqSnapshot;
+    const auto dhits = hits - windowHitSnapshot;
+    const double hit_rate =
+        dreq ? static_cast<double>(dhits) / static_cast<double>(dreq) : 0.0;
+    const SacDecision d = controller->endWindow(hit_rate, clock);
+    result.sacDecisions.push_back(d);
+
+    if (d.chosen == LlcMode::SmSide) {
+        // Reconfiguration: drain in-flight requests, write back and
+        // invalidate the LLC, switch the routing policy (Section 3.6).
+        ++result.reconfigurations;
+        const Cycle done = flushLlc(/*replicas_only=*/false);
+        for (auto &chip : chips)
+            chip->pauseClusters(done);
+        result.flushStallCycles += done - clock;
+    }
+}
+
+Cycle
+System::flushLlc(bool replicas_only)
+{
+    // Gather dirty bytes per home partition; dirty replicas of remote
+    // data must also cross the inter-chip network.
+    std::vector<std::uint64_t> wb_to_home(
+        static_cast<std::size_t>(cfg_.numChips), 0);
+    std::vector<std::uint64_t> icn_from_chip(
+        static_cast<std::size_t>(cfg_.numChips), 0);
+
+    for (auto &chip : chips) {
+        const ChipId c = chip->id();
+        for (int s = 0; s < chip->numSlices(); ++s) {
+            auto &cache = chip->slice(s).cache();
+            const auto pred = [&](const CacheLine &line) {
+                return !replicas_only || line.home != c;
+            };
+            cache.flushIf(pred, [&](const CacheLine &line) {
+                wb_to_home[static_cast<std::size_t>(line.home)] +=
+                    cfg_.lineBytes;
+                if (line.home != c) {
+                    icn_from_chip[static_cast<std::size_t>(c)] +=
+                        cfg_.lineBytes;
+                }
+            });
+        }
+    }
+
+    Cycle done = clock + cfg_.sac.drainLatency;
+    for (auto &chip : chips) {
+        const auto idx = static_cast<std::size_t>(chip->id());
+        if (wb_to_home[idx] > 0) {
+            done = std::max(done, chip->memCtrl().occupyBulk(wb_to_home[idx],
+                                                             clock));
+        }
+        if (icn_from_chip[idx] > 0) {
+            const auto icn_cycles = static_cast<Cycle>(
+                static_cast<double>(icn_from_chip[idx]) / cfg_.interChipBw);
+            done = std::max(done, clock + icn_cycles +
+                                      cfg_.interChipLatency);
+        }
+    }
+    return done;
+}
+
+void
+System::finishKernel()
+{
+    // Software coherence: L1s flush at every kernel boundary; the LLC
+    // is flushed when the active organization replicated remote data.
+    for (auto &chip : chips)
+        chip->flushL1s();
+
+    const bool llc_needs_flush = org->cachesRemoteData() &&
+                                 coherence.kind() == CoherenceKind::Software;
+    if (llc_needs_flush) {
+        const bool replicas_only = org->kind() == OrgKind::StaticLlc ||
+                                   org->kind() == OrgKind::DynamicLlc;
+        const Cycle done = flushLlc(replicas_only);
+        result.flushStallCycles += done - clock;
+        clock = std::max(clock, done);
+    }
+    if (coherence.kind() == CoherenceKind::Hardware) {
+        // The directory survives kernels; replicas stay coherent.
+    }
+    if (controller)
+        controller->endKernel();
+}
+
+void
+System::dynamicEpochUpdate()
+{
+    for (auto &chip : chips) {
+        const auto idx = static_cast<std::size_t>(chip->id());
+        EpochTraffic traffic;
+        traffic.localMemBytes =
+            chip->memCtrl().bytesServed() - chipDramSnapshot[idx];
+        traffic.interChipBytes = chipIcnInBytes[idx] - chipIcnSnapshot[idx];
+        chipDramSnapshot[idx] = chip->memCtrl().bytesServed();
+        chipIcnSnapshot[idx] = chipIcnInBytes[idx];
+        chip->setWaySplit(dynCtrl->update(chip->id(), traffic));
+    }
+    lastEpoch = clock;
+}
+
+void
+System::sampleOccupancy()
+{
+    std::uint64_t remote = 0;
+    std::uint64_t valid = 0;
+    for (const auto &chip : chips) {
+        for (int s = 0; s < chip->numSlices(); ++s) {
+            const auto &cache = chip->slice(s).cache();
+            remote += cache.remoteLines(chip->id());
+            valid += cache.validLines();
+        }
+    }
+    if (valid > 0) {
+        occupancyRemoteSum +=
+            static_cast<double>(remote) / static_cast<double>(valid);
+        ++occupancySamples;
+    }
+    lastOccupancySample = clock;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    using stats::Scalar;
+    using stats::StatGroup;
+
+    StatGroup root("system");
+    Scalar cycles("cycles", "simulated cycles");
+    cycles = static_cast<double>(clock);
+    root.add(cycles);
+    Scalar icn_bytes("icnBytes", "bytes across inter-chip links");
+    icn_bytes = static_cast<double>(icn.bytesTransferred());
+    root.add(icn_bytes);
+    Scalar pages("pages", "pages placed by first touch");
+    pages = static_cast<double>(this->pages.totalPages());
+    root.add(pages);
+
+    std::vector<StatGroup> chip_groups;
+    // Reserve so addChild pointers stay valid.
+    chip_groups.reserve(chips.size());
+    std::vector<std::unique_ptr<Scalar>> scalars;
+    for (const auto &chip : chips) {
+        chip_groups.emplace_back("chip" + std::to_string(chip->id()));
+        StatGroup &g = chip_groups.back();
+        const auto add = [&](const char *name, const char *desc,
+                             double value) {
+            scalars.push_back(std::make_unique<Scalar>(name, desc));
+            *scalars.back() = value;
+            g.add(*scalars.back());
+        };
+        std::uint64_t req = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t bypasses = 0;
+        std::uint64_t writebacks = 0;
+        for (int s = 0; s < chip->numSlices(); ++s) {
+            const auto &st = chip->slice(s).stats();
+            req += st.requests;
+            hits += st.hits;
+            bypasses += st.bypasses;
+            writebacks += st.writebacks;
+        }
+        add("llcRequests", "LLC lookups", static_cast<double>(req));
+        add("llcHits", "LLC hits", static_cast<double>(hits));
+        add("llcBypasses", "bypass-path packets",
+            static_cast<double>(bypasses));
+        add("llcWritebacks", "dirty writebacks",
+            static_cast<double>(writebacks));
+        std::uint64_t acc = 0;
+        std::uint64_t l1h = 0;
+        for (int c = 0; c < chip->numClusters(); ++c) {
+            acc += chip->cluster(c).stats().accesses;
+            l1h += chip->cluster(c).stats().l1Hits;
+        }
+        add("accesses", "warp memory accesses", static_cast<double>(acc));
+        add("l1Hits", "L1 hits", static_cast<double>(l1h));
+        add("dramBytes", "DRAM bytes served",
+            static_cast<double>(chip->memCtrl().bytesServed()));
+    }
+    for (auto &g : chip_groups)
+        root.addChild(g);
+    root.dump(os);
+}
+
+RunResult
+System::run(const std::vector<KernelDescriptor> &kernels)
+{
+    SAC_ASSERT(!kernels.empty(), "run() needs at least one kernel");
+    constexpr Cycle occupancy_interval = 2048;
+
+    for (const auto &kernel : kernels) {
+        launchKernel(kernel);
+        while (!allDone()) {
+            tick();
+            if (windowOpen && !windowMidTaken &&
+                (clock >= windowMid ||
+                 controller->profiler().totalRequests() >=
+                     cfg_.sac.profileMinRequests / 2)) {
+                // Restart the hit-rate measurement past the cold-start
+                // transient; the decision uses steady-ish rates.
+                const auto [req, hits] = llcTotals();
+                windowReqSnapshot = req;
+                windowHitSnapshot = hits;
+                controller->profiler().restartMeasurement();
+                windowMidTaken = true;
+            }
+            if (windowOpen && windowMidTaken &&
+                (clock >= controller->windowEndCycle() ||
+                 controller->profiler().totalRequests() >=
+                     cfg_.sac.profileMinRequests)) {
+                closeProfilingWindow();
+            }
+            if (controller && !windowOpen &&
+                cfg_.sac.reprofileInterval > 0 &&
+                clock - windowClosedAt >= cfg_.sac.reprofileInterval) {
+                startProfiling();
+            }
+            if (dynCtrl && clock - lastEpoch >= dynCtrl->epoch())
+                dynamicEpochUpdate();
+            if (clock - lastOccupancySample >= occupancy_interval)
+                sampleOccupancy();
+            if (clock - kernelStart > maxKernelCycles)
+                panic("kernel ", kernel.index, " exceeded ",
+                      maxKernelCycles, " cycles: likely livelock");
+        }
+        windowOpen = false;
+        result.kernelCycles.push_back(clock - kernelStart);
+        finishKernel();
+    }
+
+    // --- final aggregation ------------------------------------------------
+    result.cycles = clock;
+    const auto [req, hits] = llcTotals();
+    result.llcRequests = req;
+    result.llcHits = hits;
+
+    std::uint64_t lat_sum = 0;
+    std::uint64_t lat_n = 0;
+    for (const auto &chip : chips) {
+        for (int c = 0; c < chip->numClusters(); ++c) {
+            const auto &cs = chip->cluster(c).stats();
+            result.accesses += cs.accesses;
+            result.l1Hits += cs.l1Hits;
+            result.l1Misses += cs.l1Misses;
+            lat_sum += cs.loadLatencySum;
+            lat_n += cs.loadsCompleted;
+        }
+        result.dramBytes += chip->memCtrl().bytesServed();
+    }
+    result.avgLoadLatency =
+        lat_n ? static_cast<double>(lat_sum) / static_cast<double>(lat_n)
+              : 0.0;
+    result.icnBytes = icn.bytesTransferred();
+    result.invalidations = coherence.invalidationsSent();
+
+    const double cycles_d = static_cast<double>(std::max<Cycle>(clock, 1));
+    const auto origin_count = [&](ResponseOrigin o) {
+        return static_cast<double>(
+                   respByOrigin[static_cast<std::size_t>(o)]) /
+               cycles_d;
+    };
+    result.bwLocalLlc = origin_count(ResponseOrigin::LocalLlc);
+    result.bwRemoteLlc = origin_count(ResponseOrigin::RemoteLlc);
+    result.bwLocalMem = origin_count(ResponseOrigin::LocalMem);
+    result.bwRemoteMem = origin_count(ResponseOrigin::RemoteMem);
+    result.effLlcBw = result.bwLocalLlc + result.bwRemoteLlc +
+                      result.bwLocalMem + result.bwRemoteMem;
+    result.llcRemoteFraction =
+        occupancySamples ? occupancyRemoteSum /
+                               static_cast<double>(occupancySamples)
+                         : 0.0;
+    return result;
+}
+
+} // namespace sac

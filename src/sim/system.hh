@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The multi-chip GPU system: chips + inter-chip network + page table
+ * + active LLC organization + (for SAC) the runtime controller.
+ *
+ * This is the library's main entry point: construct a System with a
+ * configuration, an organization kind and a trace source, then call
+ * run() with the kernel sequence. The returned RunResult carries the
+ * measurements every bench/figure consumes.
+ */
+
+#ifndef SAC_SIM_SYSTEM_HH
+#define SAC_SIM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "gpu/kernel.hh"
+#include "llc/coherence.hh"
+#include "llc/dynamic_partition.hh"
+#include "llc/organization.hh"
+#include "mem/address_map.hh"
+#include "mem/page_table.hh"
+#include "noc/interchip.hh"
+#include "sac/controller.hh"
+#include "sim/chip.hh"
+
+namespace sac {
+
+/** Measurements of one complete run (all kernels). */
+struct RunResult
+{
+    std::string organization;
+    Cycle cycles = 0;
+    std::vector<Cycle> kernelCycles;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t llcRequests = 0;
+    std::uint64_t llcHits = 0;
+
+    /** Read responses delivered to SMs per cycle (Fig. 1c / Fig. 10). */
+    double effLlcBw = 0.0;
+    /** Breakdown by origin, responses per cycle (Fig. 10). */
+    double bwLocalLlc = 0.0;
+    double bwRemoteLlc = 0.0;
+    double bwLocalMem = 0.0;
+    double bwRemoteMem = 0.0;
+
+    /** Average fraction of valid LLC lines holding remote data (Fig. 9). */
+    double llcRemoteFraction = 0.0;
+
+    double avgLoadLatency = 0.0;
+    std::uint64_t icnBytes = 0;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t invalidations = 0;
+    int reconfigurations = 0;
+    Cycle flushStallCycles = 0;
+
+    /** SAC only: per-kernel mode decisions. */
+    std::vector<SacDecision> sacDecisions;
+
+    double llcMissRate() const
+    {
+        return llcRequests
+                   ? 1.0 - static_cast<double>(llcHits) /
+                               static_cast<double>(llcRequests)
+                   : 0.0;
+    }
+    double llcHitRate() const { return 1.0 - llcMissRate(); }
+    double accessesPerCycle() const
+    {
+        return cycles ? static_cast<double>(accesses) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The simulated multi-chip GPU. */
+class System : public ClusterEnv, public ChipHooks
+{
+  public:
+    /**
+     * @param cfg validated system configuration
+     * @param kind LLC organization to evaluate
+     * @param trace workload access stream
+     */
+    System(const GpuConfig &cfg, OrgKind kind, TraceSource &trace);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Executes the kernel sequence to completion. */
+    RunResult run(const std::vector<KernelDescriptor> &kernels);
+
+    /** Advances one cycle (exposed for fine-grained tests). */
+    void tick();
+
+    // --- ClusterEnv -----------------------------------------------------
+    void injectMiss(Packet &&pkt, Cycle now) override;
+
+    // --- ChipHooks -------------------------------------------------------
+    void icnSend(ChipId src, ChipId dst, Packet pkt) override;
+    void handleWrite(const Packet &pkt, ChipId writer) override;
+    void replicaAdded(Addr line_addr, ChipId chip) override;
+    void replicaRemoved(Addr line_addr, ChipId chip) override;
+    void countResponse(const Packet &pkt) override;
+    Cycle now() const override { return clock; }
+
+    // --- component access (tests, benches) -------------------------------
+    Chip &chip(ChipId c) { return *chips[static_cast<std::size_t>(c)]; }
+    const GpuConfig &config() const { return cfg_; }
+    Organization &organization() { return *org; }
+    PageTable &pageTable() { return pages; }
+    Controller *sacController() { return controller.get(); }
+    InterChipNet &interChip() { return icn; }
+    const AddressMap &addressMap() const { return map; }
+
+    /** Aggregate LLC requests/hits over all slices (current totals). */
+    std::pair<std::uint64_t, std::uint64_t> llcTotals() const;
+
+    /**
+     * Dumps the full statistics tree (per-chip, per-slice, per-cluster
+     * counters) in the stats framework's "name value # desc" format.
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    bool allDone() const;
+    void launchKernel(const KernelDescriptor &kernel);
+    void finishKernel();
+    /** Opens a profiling window (kernel start or periodic re-profile). */
+    void startProfiling();
+    void closeProfilingWindow();
+    /**
+     * Writes back dirty lines and invalidates LLC content; returns
+     * the cycle the flush completes. @p replicas_only keeps
+     * home-resident lines (Static/Dynamic boundary flush).
+     */
+    Cycle flushLlc(bool replicas_only);
+    void dynamicEpochUpdate();
+    void sampleOccupancy();
+
+    GpuConfig cfg_;
+    AddressMap map;
+    PageTable pages;
+    TraceSource &trace_;
+
+    std::unique_ptr<Organization> org;
+    SacOrg *sacOrg = nullptr; // non-owning view when kind == Sac
+    std::unique_ptr<Controller> controller;
+    CoherenceManager coherence;
+    std::unique_ptr<DynamicPartitionController> dynCtrl;
+
+    std::vector<std::unique_ptr<Chip>> chips;
+    InterChipNet icn;
+
+    Cycle clock = 0;
+    Cycle kernelStart = 0;
+    int currentKernel = 0;
+    Cycle windowClosedAt = 0;
+    bool windowOpen = false;
+    /** Hit-rate measurement restarts at the window midpoint so the
+     *  cold-start transient does not bias the EAB comparison. */
+    bool windowMidTaken = false;
+    Cycle windowMid = 0;
+    std::uint64_t windowReqSnapshot = 0;
+    std::uint64_t windowHitSnapshot = 0;
+
+    // Dynamic-LLC epoch bookkeeping.
+    Cycle lastEpoch = 0;
+    std::vector<std::uint64_t> chipDramSnapshot;
+    std::vector<std::uint64_t> chipIcnInBytes;
+    std::vector<std::uint64_t> chipIcnSnapshot;
+
+    // Fig. 9 occupancy sampling.
+    Cycle lastOccupancySample = 0;
+    double occupancyRemoteSum = 0.0;
+    std::uint64_t occupancySamples = 0;
+
+    // Fig. 10 response accounting.
+    std::array<std::uint64_t, 5> respByOrigin{};
+
+    RunResult result;
+};
+
+} // namespace sac
+
+#endif // SAC_SIM_SYSTEM_HH

@@ -1,0 +1,46 @@
+#include "workload/profile.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+WorkloadProfile
+WorkloadProfile::scaledData(double divisor) const
+{
+    SAC_ASSERT(divisor > 0.0, "scale divisor must be positive");
+    WorkloadProfile p = *this;
+    p.footprintMB /= divisor;
+    p.trueSharedMB /= divisor;
+    p.falseSharedMB /= divisor;
+    for (auto &phase : p.phases) {
+        phase.trueHotMB /= divisor;
+        phase.falseHotMB /= divisor;
+        phase.privHotMB /= divisor;
+    }
+    return p;
+}
+
+WorkloadProfile
+WorkloadProfile::withInputScale(double factor) const
+{
+    SAC_ASSERT(factor > 0.0, "input scale must be positive");
+    WorkloadProfile p = *this;
+    p.footprintMB *= factor;
+    p.trueSharedMB *= factor;
+    p.falseSharedMB *= factor;
+    for (auto &phase : p.phases) {
+        phase.trueHotMB *= factor;
+        phase.falseHotMB *= factor;
+        phase.privHotMB *= factor;
+    }
+    return p;
+}
+
+const KernelPhase &
+WorkloadProfile::phase(int kernel_index) const
+{
+    SAC_ASSERT(!phases.empty(), "workload '", name, "' has no phases");
+    return phases[static_cast<std::size_t>(kernel_index) % phases.size()];
+}
+
+} // namespace sac

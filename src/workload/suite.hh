@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The paper's 16-benchmark suite (Table 4).
+ *
+ * Quantitative columns (CTAs, footprint, true-/false-shared MB) are
+ * taken verbatim from Table 4. Behavioural knobs encode each group's
+ * characterization from Sections 1, 2 and 5.3:
+ *
+ *  - SM-side preferred (top half): most accesses go to shared data;
+ *    the truly shared *hot* set is small (high Zipf skew) so SM-side
+ *    replication fits, and the falsely shared set is large — caching
+ *    it locally is pure win.
+ *  - Memory-side preferred (bottom half): private data dominates the
+ *    access stream, while the truly shared working set is large and
+ *    flat (low skew) — replicating it under an SM-side LLC exceeds
+ *    capacity and thrashes (Fig. 11).
+ *  - Atypical benchmarks (3DC, BS, BP, DWT) sit near the boundary.
+ */
+
+#ifndef SAC_WORKLOAD_SUITE_HH
+#define SAC_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace sac {
+
+/** All 16 benchmarks in Table 4 order (SP first, then MP). */
+const std::vector<WorkloadProfile> &benchmarkSuite();
+
+/** Lookup by name ("RN", "BFS", ...); fatal() when unknown. */
+const WorkloadProfile &findBenchmark(const std::string &name);
+
+/** The SM-side preferred subset (top half of Table 4). */
+std::vector<WorkloadProfile> smSidePreferredSuite();
+
+/** The memory-side preferred subset (bottom half of Table 4). */
+std::vector<WorkloadProfile> memorySidePreferredSuite();
+
+} // namespace sac
+
+#endif // SAC_WORKLOAD_SUITE_HH

@@ -1,0 +1,215 @@
+/** @file Unit and property tests for the set-associative cache. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+
+namespace sac {
+namespace {
+
+constexpr unsigned lineBytes = 128;
+
+/** 16 KB, 4-way: 32 sets. */
+SetAssocCache
+smallCache(unsigned sectors = 1)
+{
+    return SetAssocCache(16 * 1024, 4, lineBytes, sectors);
+}
+
+TEST(Cache, MissThenHit)
+{
+    auto c = smallCache();
+    EXPECT_FALSE(c.access(0x1000, 0, false).hit);
+    c.insert(0x1000, 0, 0, false, partitionLocal);
+    EXPECT_TRUE(c.access(0x1000, 0, false).hit);
+    EXPECT_TRUE(c.probe(0x1000, 0));
+}
+
+TEST(Cache, WriteMarksLineDirty)
+{
+    auto c = smallCache();
+    c.insert(0x2000, 0, 1, false, partitionLocal);
+    EXPECT_EQ(c.dirtyLines(), 0u);
+    EXPECT_TRUE(c.access(0x2000, 0, true).hit);
+    EXPECT_EQ(c.dirtyLines(), 1u);
+}
+
+TEST(Cache, DirtyInsertReportsDirtyEviction)
+{
+    auto c = smallCache();
+    // Fill one set beyond capacity with dirty lines and check the
+    // eviction carries the dirty bit and home chip.
+    std::vector<Addr> same_set;
+    Addr a = 0;
+    const auto set0 = c.setIndex(0);
+    while (same_set.size() < 5) {
+        if (c.setIndex(a) == set0)
+            same_set.push_back(a);
+        a += lineBytes;
+    }
+    for (std::size_t i = 0; i < 4; ++i)
+        c.insert(same_set[i], 0, 3, true, partitionLocal);
+    const auto evict = c.insert(same_set[4], 0, 0, false, partitionLocal);
+    EXPECT_TRUE(evict.evicted);
+    EXPECT_TRUE(evict.dirty);
+    EXPECT_EQ(evict.home, 3);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    auto c = smallCache();
+    std::vector<Addr> same_set;
+    Addr a = 0;
+    const auto set0 = c.setIndex(0);
+    while (same_set.size() < 5) {
+        if (c.setIndex(a) == set0)
+            same_set.push_back(a);
+        a += lineBytes;
+    }
+    for (std::size_t i = 0; i < 4; ++i)
+        c.insert(same_set[i], 0, 0, false, partitionLocal);
+    // Touch the first line so the second becomes LRU.
+    c.access(same_set[0], 0, false);
+    c.insert(same_set[4], 0, 0, false, partitionLocal);
+    EXPECT_TRUE(c.probe(same_set[0], 0));
+    EXPECT_FALSE(c.probe(same_set[1], 0));
+}
+
+TEST(Cache, WayPartitionSeparatesAllocations)
+{
+    auto c = smallCache();
+    c.setWaySplit(2); // class 0 -> ways [0,2), class 1 -> [2,4)
+    std::vector<Addr> same_set;
+    Addr a = 0;
+    const auto set0 = c.setIndex(0);
+    while (same_set.size() < 6) {
+        if (c.setIndex(a) == set0)
+            same_set.push_back(a);
+        a += lineBytes;
+    }
+    // Two local lines fill the local partition.
+    c.insert(same_set[0], 0, 0, false, partitionLocal);
+    c.insert(same_set[1], 0, 0, false, partitionLocal);
+    // Remote allocations must not evict them.
+    c.insert(same_set[2], 0, 1, false, partitionRemote);
+    c.insert(same_set[3], 0, 1, false, partitionRemote);
+    c.insert(same_set[4], 0, 1, false, partitionRemote);
+    EXPECT_TRUE(c.probe(same_set[0], 0));
+    EXPECT_TRUE(c.probe(same_set[1], 0));
+    // But a third local allocation evicts a local line.
+    c.insert(same_set[5], 0, 0, false, partitionLocal);
+    EXPECT_EQ(c.validLines(), 4u);
+}
+
+TEST(Cache, LookupFindsLinesInEitherPartition)
+{
+    auto c = smallCache();
+    c.setWaySplit(2);
+    c.insert(0x4000, 0, 1, false, partitionRemote);
+    EXPECT_TRUE(c.access(0x4000, 0, false).hit);
+}
+
+TEST(Cache, RemoteLinesCounter)
+{
+    auto c = smallCache();
+    c.insert(0x1000, 0, /*home=*/0, false, partitionLocal);
+    c.insert(0x2000, 0, /*home=*/1, false, partitionLocal);
+    c.insert(0x3000, 0, /*home=*/2, false, partitionLocal);
+    EXPECT_EQ(c.remoteLines(/*chip=*/0), 2u);
+    EXPECT_EQ(c.remoteLines(/*chip=*/1), 2u);
+}
+
+TEST(Cache, FlushIfWritesBackOnlyMatchingDirtyLines)
+{
+    auto c = smallCache();
+    c.insert(0x1000, 0, 0, true, partitionLocal);  // local dirty
+    c.insert(0x2000, 0, 1, true, partitionLocal);  // remote dirty
+    c.insert(0x3000, 0, 1, false, partitionLocal); // remote clean
+    std::vector<Addr> written;
+    c.flushIf([](const CacheLine &l) { return l.home != 0; },
+              [&](const CacheLine &l) { written.push_back(l.lineAddr); });
+    ASSERT_EQ(written.size(), 1u);
+    EXPECT_EQ(written[0], 0x2000u);
+    EXPECT_TRUE(c.probe(0x1000, 0));   // local line survived
+    EXPECT_FALSE(c.probe(0x2000, 0));
+    EXPECT_FALSE(c.probe(0x3000, 0));
+}
+
+TEST(Cache, FlushAllEmptiesTheCache)
+{
+    auto c = smallCache();
+    for (Addr a = 0; a < 64 * lineBytes; a += lineBytes)
+        c.insert(a, 0, 0, false, partitionLocal);
+    EXPECT_GT(c.validLines(), 0u);
+    c.flushAll();
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(Cache, InvalidateSingleLine)
+{
+    auto c = smallCache();
+    c.insert(0x1000, 0, 0, false, partitionLocal);
+    EXPECT_TRUE(c.invalidate(0x1000));
+    EXPECT_FALSE(c.invalidate(0x1000));
+    EXPECT_FALSE(c.probe(0x1000, 0));
+}
+
+TEST(Cache, SectoredMissOnAbsentSector)
+{
+    auto c = smallCache(4);
+    c.insert(0x1000, 1, 0, false, partitionLocal);
+    EXPECT_TRUE(c.access(0x1000, 1, false).hit);
+    const auto res = c.access(0x1000, 2, false);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(res.sectorMiss);
+    // Filling the sector completes the line without eviction.
+    const auto evict = c.insert(0x1000, 2, 0, false, partitionLocal);
+    EXPECT_FALSE(evict.evicted);
+    EXPECT_TRUE(c.access(0x1000, 2, false).hit);
+}
+
+TEST(Cache, ConventionalLineValidatesAllSectors)
+{
+    auto c = smallCache(1);
+    c.insert(0x1000, 0, 0, false, partitionLocal);
+    EXPECT_TRUE(c.probe(0x1000, 0));
+}
+
+TEST(Cache, NeverExceedsCapacityProperty)
+{
+    auto c = smallCache();
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.nextBounded(1 << 20) * lineBytes;
+        if (!c.access(a, 0, false).hit)
+            c.insert(a, 0, 0, rng.nextBool(0.3), partitionLocal);
+    }
+    EXPECT_LE(c.validLines(), 16ull * 1024 / lineBytes);
+    EXPECT_LE(c.dirtyLines(), c.validLines());
+}
+
+TEST(Cache, HotSetFitsAndStays)
+{
+    // A working set half the cache size must reach a near-perfect hit
+    // rate under LRU with uniform access.
+    auto c = smallCache();
+    Rng rng(7);
+    const std::uint64_t hot_lines = 48; // vs 128-line capacity
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = rng.nextBounded(hot_lines) * lineBytes;
+        if (c.access(a, 0, false).hit) {
+            ++hits;
+        } else {
+            c.insert(a, 0, 0, false, partitionLocal);
+        }
+    }
+    EXPECT_GT(hits, n * 95 / 100);
+}
+
+} // namespace
+} // namespace sac

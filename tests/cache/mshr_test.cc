@@ -1,0 +1,82 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace sac {
+namespace {
+
+Packet
+pkt(Addr line, int warp, unsigned sector = 0)
+{
+    Packet p;
+    p.lineAddr = line;
+    p.warp = warp;
+    p.sector = static_cast<std::uint8_t>(sector);
+    return p;
+}
+
+TEST(Mshr, FirstMissIsPrimary)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.allocate(pkt(0x100, 0)), MshrFile::Outcome::Primary);
+    EXPECT_TRUE(m.has(0x100, 0));
+    EXPECT_EQ(m.inUse(), 1u);
+}
+
+TEST(Mshr, SameLineMerges)
+{
+    MshrFile m(4);
+    m.allocate(pkt(0x100, 0));
+    EXPECT_EQ(m.allocate(pkt(0x100, 1)), MshrFile::Outcome::Merged);
+    EXPECT_EQ(m.allocate(pkt(0x100, 2)), MshrFile::Outcome::Merged);
+    EXPECT_EQ(m.inUse(), 1u);
+    const auto targets = m.complete(0x100, 0);
+    ASSERT_EQ(targets.size(), 3u);
+    EXPECT_EQ(targets[0].warp, 0);
+    EXPECT_EQ(targets[1].warp, 1);
+    EXPECT_EQ(targets[2].warp, 2);
+    EXPECT_EQ(m.inUse(), 0u);
+}
+
+TEST(Mshr, FullRejectsNewLines)
+{
+    MshrFile m(2);
+    m.allocate(pkt(0x100, 0));
+    m.allocate(pkt(0x200, 1));
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.allocate(pkt(0x300, 2)), MshrFile::Outcome::Full);
+    // Existing lines still merge when full.
+    EXPECT_EQ(m.allocate(pkt(0x100, 3)), MshrFile::Outcome::Merged);
+}
+
+TEST(Mshr, SectorsAreIndependentEntries)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.allocate(pkt(0x100, 0, 0)), MshrFile::Outcome::Primary);
+    EXPECT_EQ(m.allocate(pkt(0x100, 1, 2)), MshrFile::Outcome::Primary);
+    EXPECT_EQ(m.inUse(), 2u);
+    EXPECT_EQ(m.complete(0x100, 2).size(), 1u);
+    EXPECT_TRUE(m.has(0x100, 0));
+}
+
+TEST(Mshr, CompleteUnknownReturnsEmpty)
+{
+    MshrFile m(2);
+    EXPECT_TRUE(m.complete(0x500, 0).empty());
+}
+
+TEST(Mshr, DrainReturnsEverything)
+{
+    MshrFile m(4);
+    m.allocate(pkt(0x100, 0));
+    m.allocate(pkt(0x100, 1));
+    m.allocate(pkt(0x200, 2));
+    const auto all = m.drainAll();
+    EXPECT_EQ(all.size(), 3u);
+    EXPECT_EQ(m.inUse(), 0u);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,74 @@
+/** @file Unit tests for replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+#include "common/log.hh"
+
+namespace sac {
+namespace {
+
+std::vector<WayState>
+ways(std::initializer_list<std::pair<bool, std::uint64_t>> init)
+{
+    std::vector<WayState> out;
+    for (const auto &[valid, use] : init)
+        out.push_back({valid, use});
+    return out;
+}
+
+TEST(Lru, PrefersInvalidWays)
+{
+    LruPolicy lru;
+    auto w = ways({{true, 10}, {false, 0}, {true, 1}, {true, 2}});
+    EXPECT_EQ(lru.victim(w, 0, 4), 1);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru;
+    auto w = ways({{true, 10}, {true, 3}, {true, 7}, {true, 5}});
+    EXPECT_EQ(lru.victim(w, 0, 4), 1);
+}
+
+TEST(Lru, RespectsPartitionBoundaries)
+{
+    LruPolicy lru;
+    auto w = ways({{true, 1}, {true, 2}, {true, 9}, {true, 8}});
+    // Partition covering ways [2, 4): way 0 (globally LRU) is off-limits.
+    EXPECT_EQ(lru.victim(w, 2, 2), 3);
+}
+
+TEST(Random, PrefersInvalidAndStaysInPartition)
+{
+    RandomPolicy rnd(7);
+    auto w = ways({{true, 1}, {true, 1}, {false, 0}, {true, 1}});
+    EXPECT_EQ(rnd.victim(w, 0, 4), 2);
+    // All valid: victims must stay in [1, 3).
+    auto w2 = ways({{true, 1}, {true, 1}, {true, 1}, {true, 1}});
+    for (int i = 0; i < 200; ++i) {
+        const int v = rnd.victim(w2, 1, 2);
+        EXPECT_GE(v, 1);
+        EXPECT_LT(v, 3);
+    }
+}
+
+TEST(Random, CoversTheWholePartition)
+{
+    RandomPolicy rnd(11);
+    auto w = ways({{true, 1}, {true, 1}, {true, 1}, {true, 1}});
+    bool seen[4] = {};
+    for (int i = 0; i < 400; ++i)
+        seen[rnd.victim(w, 0, 4)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(ReplacementFactory, KnownAndUnknownNames)
+{
+    EXPECT_EQ(makeReplacementPolicy("lru", 1)->name(), "LRU");
+    EXPECT_EQ(makeReplacementPolicy("random", 1)->name(), "Random");
+    EXPECT_THROW(makeReplacementPolicy("plru", 1), FatalError);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,66 @@
+/** @file Unit tests for bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.hh"
+
+namespace sac {
+namespace {
+
+TEST(BitUtil, PowerOfTwoDetection)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(128), 7u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(BitUtil, Mix64IsDeterministicAndInjectiveOnSmallRange)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        const auto h = mix64(i);
+        EXPECT_EQ(h, mix64(i));
+        seen.insert(h);
+    }
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(BitUtil, Mix64SpreadsLowBits)
+{
+    // Consecutive inputs should land in different mod-16 buckets with
+    // a roughly uniform distribution.
+    int buckets[16] = {};
+    for (std::uint64_t i = 0; i < 16000; ++i)
+        ++buckets[mix64(i) % 16];
+    for (const int count : buckets) {
+        EXPECT_GT(count, 800);
+        EXPECT_LT(count, 1200);
+    }
+}
+
+TEST(BitUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(1023, 512), 2u);
+}
+
+} // namespace
+} // namespace sac

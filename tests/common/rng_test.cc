@@ -1,0 +1,118 @@
+/** @file Unit and property tests for the deterministic RNG and Zipf. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace sac {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42, 7);
+    Rng b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSaltDifferentStream)
+{
+    Rng a(42, 1);
+    Rng b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(1);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(3);
+    int buckets[10] = {};
+    for (int i = 0; i < 100000; ++i)
+        ++buckets[rng.nextBounded(10)];
+    for (const int count : buckets) {
+        EXPECT_GT(count, 9000);
+        EXPECT_LT(count, 11000);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    ZipfSampler z(100, 0.0);
+    Rng rng(11);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample(rng)];
+    for (const int c : counts) {
+        EXPECT_GT(c, 700);
+        EXPECT_LT(c, 1300);
+    }
+}
+
+TEST(Zipf, SkewConcentratesOnHead)
+{
+    ZipfSampler z(10000, 1.2);
+    Rng rng(13);
+    std::uint64_t head = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        head += z.sample(rng) < 100 ? 1 : 0;
+    // With alpha=1.2, the top-1% ranks absorb well over a third of
+    // the draws.
+    EXPECT_GT(head, static_cast<std::uint64_t>(n) * 35 / 100);
+}
+
+TEST(Zipf, SamplesAlwaysInRange)
+{
+    for (double alpha : {0.0, 0.5, 1.0, 1.5}) {
+        ZipfSampler z(37, alpha);
+        Rng rng(17);
+        for (int i = 0; i < 5000; ++i)
+            EXPECT_LT(z.sample(rng), 37u);
+    }
+}
+
+TEST(Zipf, LargePopulationWorks)
+{
+    ZipfSampler z(10'000'000, 0.9);
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z.sample(rng), 10'000'000u);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,116 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace sac::stats {
+namespace {
+
+TEST(Stats, CounterCountsAndResets)
+{
+    Counter c("hits", "cache hits");
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.count(), 42u);
+    EXPECT_DOUBLE_EQ(c.value(), 42.0);
+    c.reset();
+    EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(Stats, ScalarAssignAndAccumulate)
+{
+    Scalar s("ratio", "some ratio");
+    s = 1.5;
+    s += 0.5;
+    EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(Stats, AverageTracksMean)
+{
+    Average a("lat", "latency");
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.value(), 20.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Stats, DistributionBucketsAndOverflow)
+{
+    Distribution d("d", "dist", 10.0, 5);
+    d.sample(0.5);  // bucket 0
+    d.sample(3.0);  // bucket 1
+    d.sample(9.9);  // bucket 4
+    d.sample(50.0); // overflow -> last bucket
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[4], 2u);
+    EXPECT_EQ(d.samples(), 4u);
+}
+
+TEST(Stats, GroupFindByDottedPath)
+{
+    StatGroup root("sys");
+    StatGroup child("chip0");
+    Counter c("hits", "hits");
+    ++c;
+    child.add(c);
+    root.addChild(child);
+    ASSERT_NE(root.find("chip0.hits"), nullptr);
+    EXPECT_DOUBLE_EQ(root.get("chip0.hits"), 1.0);
+    EXPECT_EQ(root.find("chip1.hits"), nullptr);
+    EXPECT_EQ(root.find("chip0.misses"), nullptr);
+}
+
+TEST(Stats, GroupRejectsDuplicates)
+{
+    StatGroup g("g");
+    Counter a("x", "first");
+    Counter b("x", "second");
+    g.add(a);
+    EXPECT_THROW(g.add(b), PanicError);
+}
+
+TEST(Stats, GroupResetAllRecurses)
+{
+    StatGroup root("sys");
+    StatGroup child("c");
+    Counter a("a", "");
+    Counter b("b", "");
+    ++a;
+    ++b;
+    root.add(a);
+    child.add(b);
+    root.addChild(child);
+    root.resetAll();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesValuesAndDescriptions)
+{
+    StatGroup g("core");
+    Counter c("instructions", "retired instructions");
+    c += 7;
+    g.add(c);
+    std::ostringstream os;
+    g.dump(os);
+    const auto text = os.str();
+    EXPECT_NE(text.find("core.instructions"), std::string::npos);
+    EXPECT_NE(text.find("7"), std::string::npos);
+    EXPECT_NE(text.find("retired instructions"), std::string::npos);
+}
+
+TEST(Stats, GetUnknownPanics)
+{
+    StatGroup g("g");
+    EXPECT_THROW(g.get("nope"), PanicError);
+}
+
+} // namespace
+} // namespace sac::stats

@@ -1,0 +1,240 @@
+/** @file Unit tests for the SM cluster (warps + L1 + MSHRs). */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+
+#include "common/config.hh"
+#include "gpu/sm_cluster.hh"
+
+namespace sac {
+namespace {
+
+/** Trace source issuing a fixed address pattern. */
+class FixedTrace : public TraceSource
+{
+  public:
+    MemAccess next(ChipId, ClusterId, int warp) override
+    {
+        MemAccess acc;
+        acc.lineAddr = nextAddr(warp);
+        acc.type = write ? AccessType::Write : AccessType::Read;
+        acc.gap = 0;
+        return acc;
+    }
+
+    /** Default: every warp streams its own distinct lines. */
+    std::function<Addr(int)> nextAddr = [n = std::uint64_t(0)](
+                                            int warp) mutable {
+        return (static_cast<Addr>(warp) << 32) | ((n++ % 64) * 128);
+    };
+    bool write = false;
+};
+
+/** Records injected packets and can answer them. */
+class RecordingEnv : public ClusterEnv
+{
+  public:
+    void injectMiss(Packet &&pkt, Cycle now) override
+    {
+        (void)now;
+        injected.push_back(pkt);
+    }
+    std::deque<Packet> injected;
+};
+
+GpuConfig
+tinyConfig()
+{
+    GpuConfig cfg = GpuConfig::scaled(4);
+    cfg.warpsPerCluster = 4;
+    cfg.clusterIssueWidth = 2;
+    cfg.warpMaxOutstanding = 2;
+    cfg.clusterMshrs = 8;
+    return cfg;
+}
+
+/** Builds a minimal read-fill response for an injected packet. */
+Packet
+fillFor(const Packet &req)
+{
+    Packet resp = req;
+    resp.kind = PacketKind::Response;
+    resp.serveFilled = true;
+    resp.origin = ResponseOrigin::LocalMem;
+    return resp;
+}
+
+TEST(SmCluster, IssuesUpToWidthPerCycle)
+{
+    auto cfg = tinyConfig();
+    FixedTrace trace;
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+    cl.beginKernel(4, 0);
+    cl.tick(0, env);
+    EXPECT_EQ(env.injected.size(), 2u); // issue width
+}
+
+TEST(SmCluster, MlpLimitBlocksWarp)
+{
+    auto cfg = tinyConfig();
+    cfg.warpsPerCluster = 1;
+    FixedTrace trace;
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+    cl.beginKernel(10, 0);
+    for (Cycle t = 0; t < 20; ++t)
+        cl.tick(t, env);
+    // One warp with warpMaxOutstanding=2 can only have 2 in flight.
+    EXPECT_EQ(env.injected.size(), 2u);
+}
+
+TEST(SmCluster, FillWakesWarpAndCompletes)
+{
+    auto cfg = tinyConfig();
+    cfg.warpsPerCluster = 1;
+    cfg.warpMaxOutstanding = 1;
+    FixedTrace trace;
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+    cl.beginKernel(2, 0);
+    Cycle t = 0;
+    while (!cl.done() && t < 10000) {
+        cl.tick(t, env);
+        while (!env.injected.empty()) {
+            // Respond a few cycles later so latency accrues.
+            cl.deliver(fillFor(env.injected.front()), t + 5);
+            env.injected.pop_front();
+        }
+        ++t;
+    }
+    EXPECT_TRUE(cl.done());
+    EXPECT_EQ(cl.stats().accesses, 2u);
+    EXPECT_EQ(cl.stats().loadsCompleted, 2u);
+    EXPECT_GT(cl.stats().loadLatencySum, 0u);
+}
+
+TEST(SmCluster, L1HitsAvoidInjection)
+{
+    auto cfg = tinyConfig();
+    cfg.warpsPerCluster = 1;
+    cfg.warpMaxOutstanding = 1;
+    FixedTrace trace;
+    trace.nextAddr = [](int) { return Addr(0x1000); }; // same line forever
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+    cl.beginKernel(8, 0);
+    Cycle t = 0;
+    while (!cl.done() && t < 10000) {
+        cl.tick(t, env);
+        while (!env.injected.empty()) {
+            cl.deliver(fillFor(env.injected.front()), t);
+            env.injected.pop_front();
+        }
+        ++t;
+    }
+    EXPECT_TRUE(cl.done());
+    EXPECT_EQ(cl.stats().l1Misses, 1u); // only the cold miss
+    EXPECT_EQ(cl.stats().l1Hits, 7u);
+}
+
+TEST(SmCluster, MshrMergesSameLineAcrossWarps)
+{
+    auto cfg = tinyConfig();
+    cfg.warpsPerCluster = 4;
+    cfg.clusterIssueWidth = 4;
+    FixedTrace trace;
+    trace.nextAddr = [](int) { return Addr(0x2000); };
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+    cl.beginKernel(1, 0);
+    cl.tick(0, env);
+    // Four warps miss the same line: one primary injection.
+    EXPECT_EQ(env.injected.size(), 1u);
+    EXPECT_EQ(cl.stats().l1MshrMerges, 3u);
+    // One fill completes all warps.
+    cl.deliver(fillFor(env.injected.front()), 13);
+    EXPECT_TRUE(cl.done());
+}
+
+TEST(SmCluster, WritesAreNonBlockingUntilCap)
+{
+    auto cfg = tinyConfig();
+    cfg.warpsPerCluster = 1;
+    cfg.clusterMshrs = 4; // also the outstanding-write cap
+    FixedTrace trace;
+    trace.write = true;
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+    cl.beginKernel(10, 0);
+    for (Cycle t = 0; t < 20; ++t)
+        cl.tick(t, env);
+    // A single warp fires writes without blocking, up to the cap.
+    EXPECT_EQ(env.injected.size(), 4u);
+    EXPECT_GT(cl.stats().stallsWriteCap, 0u);
+    // Acks drain the cap and the warp finishes.
+    Cycle t = 20;
+    while (!cl.done() && t < 1000) {
+        cl.tick(t, env);
+        while (!env.injected.empty()) {
+            Packet ack = env.injected.front();
+            env.injected.pop_front();
+            ack.kind = PacketKind::Response;
+            ack.serveFilled = true;
+            ack.bytes = 8;
+            cl.deliver(ack, t);
+        }
+        ++t;
+    }
+    EXPECT_TRUE(cl.done());
+    EXPECT_EQ(cl.stats().writes, 10u);
+}
+
+TEST(SmCluster, PauseBlocksIssue)
+{
+    auto cfg = tinyConfig();
+    FixedTrace trace;
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+    cl.beginKernel(4, 0);
+    cl.pauseUntil(100);
+    for (Cycle t = 0; t < 100; ++t)
+        cl.tick(t, env);
+    EXPECT_TRUE(env.injected.empty());
+    cl.tick(100, env);
+    EXPECT_FALSE(env.injected.empty());
+}
+
+TEST(SmCluster, FlushL1ForcesRefetch)
+{
+    auto cfg = tinyConfig();
+    cfg.warpsPerCluster = 1;
+    cfg.warpMaxOutstanding = 1;
+    FixedTrace trace;
+    trace.nextAddr = [](int) { return Addr(0x3000); };
+    RecordingEnv env;
+    SmCluster cl(cfg, 0, 0, trace);
+
+    const auto run_kernel = [&](std::uint64_t accesses) {
+        cl.beginKernel(accesses, 0);
+        Cycle t = 0;
+        while (!cl.done() && t < 10000) {
+            cl.tick(t, env);
+            while (!env.injected.empty()) {
+                cl.deliver(fillFor(env.injected.front()), t);
+                env.injected.pop_front();
+            }
+            ++t;
+        }
+    };
+    run_kernel(2);
+    EXPECT_EQ(cl.stats().l1Misses, 1u);
+    cl.flushL1();
+    run_kernel(2);
+    EXPECT_EQ(cl.stats().l1Misses, 2u); // cold again after the flush
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,75 @@
+/** @file Unit tests for the distributed CTA scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "gpu/cta_scheduler.hh"
+
+namespace sac {
+namespace {
+
+TEST(CtaScheduler, RangesPartitionTheCtaSpace)
+{
+    CtaScheduler s(1000, 4);
+    std::uint64_t total = 0;
+    std::uint64_t next_first = 0;
+    for (ChipId c = 0; c < 4; ++c) {
+        const auto r = s.chipRange(c);
+        EXPECT_EQ(r.first, next_first); // contiguous blocks
+        next_first = r.first + r.count;
+        total += r.count;
+    }
+    EXPECT_EQ(total, 1000u);
+}
+
+TEST(CtaScheduler, UnevenCountsSpreadRemainder)
+{
+    CtaScheduler s(10, 4);
+    EXPECT_EQ(s.chipRange(0).count, 3u);
+    EXPECT_EQ(s.chipRange(1).count, 3u);
+    EXPECT_EQ(s.chipRange(2).count, 2u);
+    EXPECT_EQ(s.chipRange(3).count, 2u);
+}
+
+TEST(CtaScheduler, ChipOfMatchesRanges)
+{
+    CtaScheduler s(100, 4);
+    for (std::uint64_t cta = 0; cta < 100; ++cta) {
+        const ChipId c = s.chipOf(cta);
+        const auto r = s.chipRange(c);
+        EXPECT_GE(cta, r.first);
+        EXPECT_LT(cta, r.first + r.count);
+    }
+}
+
+TEST(CtaScheduler, CtaForStaysInChipRange)
+{
+    CtaScheduler s(4031, 4); // CFD's CTA count
+    for (ChipId c = 0; c < 4; ++c) {
+        const auto r = s.chipRange(c);
+        for (int cl = 0; cl < 8; ++cl) {
+            for (int w = 0; w < 4; ++w) {
+                const auto cta = s.ctaFor(c, cl, w, 17);
+                EXPECT_GE(cta, r.first);
+                EXPECT_LT(cta, r.first + r.count);
+            }
+        }
+    }
+}
+
+TEST(CtaScheduler, FewerCtasThanChips)
+{
+    CtaScheduler s(2, 4);
+    EXPECT_EQ(s.chipRange(0).count, 1u);
+    EXPECT_EQ(s.chipRange(1).count, 1u);
+    EXPECT_EQ(s.chipRange(2).count, 0u);
+    EXPECT_EQ(s.chipRange(3).count, 0u);
+}
+
+TEST(CtaScheduler, ZeroCtasPanics)
+{
+    EXPECT_THROW(CtaScheduler(0, 4), PanicError);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,77 @@
+/** @file Unit tests for the coherence directory and manager. */
+
+#include <gtest/gtest.h>
+
+#include "llc/coherence.hh"
+
+namespace sac {
+namespace {
+
+TEST(Directory, TracksSharers)
+{
+    Directory dir(4);
+    dir.addSharer(0x1000, 1);
+    dir.addSharer(0x1000, 3);
+    EXPECT_EQ(dir.sharers(0x1000), (1u << 1) | (1u << 3));
+    EXPECT_EQ(dir.sharers(0x2000), 0u);
+}
+
+TEST(Directory, RemoveSharerAndGarbageCollect)
+{
+    Directory dir(4);
+    dir.addSharer(0x1000, 1);
+    dir.addSharer(0x1000, 2);
+    EXPECT_EQ(dir.trackedLines(), 1u);
+    dir.removeSharer(0x1000, 1);
+    EXPECT_EQ(dir.sharers(0x1000), 1u << 2);
+    dir.removeSharer(0x1000, 2);
+    EXPECT_EQ(dir.trackedLines(), 0u);
+    // Removing from an untracked line is a no-op.
+    dir.removeSharer(0x9999, 0);
+}
+
+TEST(Directory, SharersExceptExcludesWriter)
+{
+    Directory dir(4);
+    dir.addSharer(0x1000, 0);
+    dir.addSharer(0x1000, 2);
+    dir.addSharer(0x1000, 3);
+    const auto others = dir.sharersExcept(0x1000, 2);
+    ASSERT_EQ(others.size(), 2u);
+    EXPECT_EQ(others[0], 0);
+    EXPECT_EQ(others[1], 3);
+}
+
+TEST(Coherence, SoftwareNeverInvalidates)
+{
+    CoherenceManager mgr(CoherenceKind::Software, 4);
+    mgr.directory().addSharer(0x1000, 1);
+    EXPECT_TRUE(mgr.invalidationTargets(0x1000, 0).empty());
+    EXPECT_EQ(mgr.invalidationsSent(), 0u);
+}
+
+TEST(Coherence, HardwareInvalidatesOtherSharers)
+{
+    CoherenceManager mgr(CoherenceKind::Hardware, 4);
+    mgr.directory().addSharer(0x1000, 1);
+    mgr.directory().addSharer(0x1000, 2);
+    const auto targets = mgr.invalidationTargets(0x1000, 1);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], 2);
+    EXPECT_EQ(mgr.invalidationsSent(), 1u);
+    // The invalidated sharer is gone from the directory.
+    EXPECT_EQ(mgr.directory().sharers(0x1000), 1u << 1);
+    // Writing again invalidates nobody.
+    EXPECT_TRUE(mgr.invalidationTargets(0x1000, 1).empty());
+}
+
+TEST(Coherence, WriterNotInvalidatedEvenIfSharer)
+{
+    CoherenceManager mgr(CoherenceKind::Hardware, 4);
+    mgr.directory().addSharer(0x1000, 0);
+    const auto targets = mgr.invalidationTargets(0x1000, 0);
+    EXPECT_TRUE(targets.empty());
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,101 @@
+/** @file Unit tests for the Dynamic-LLC repartitioning controller. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "llc/dynamic_partition.hh"
+
+namespace sac {
+namespace {
+
+DynamicLlcParams
+params()
+{
+    DynamicLlcParams p;
+    p.epoch = 1000;
+    p.step = 1;
+    p.minWays = 2;
+    return p;
+}
+
+TEST(DynamicLlc, StartsBalanced)
+{
+    DynamicPartitionController ctrl(params(), 4, 16);
+    for (ChipId c = 0; c < 4; ++c)
+        EXPECT_EQ(ctrl.localWays(c), 8);
+}
+
+TEST(DynamicLlc, InterChipPressureGrowsRemotePartition)
+{
+    DynamicPartitionController ctrl(params(), 4, 16);
+    EpochTraffic t;
+    t.localMemBytes = 1000;
+    t.interChipBytes = 10000;
+    EXPECT_EQ(ctrl.update(0, t), 7); // local ways shrink
+    EXPECT_EQ(ctrl.update(0, t), 6);
+}
+
+TEST(DynamicLlc, LocalMemoryPressureGrowsLocalPartition)
+{
+    DynamicPartitionController ctrl(params(), 4, 16);
+    EpochTraffic t;
+    t.localMemBytes = 10000;
+    t.interChipBytes = 1000;
+    EXPECT_EQ(ctrl.update(1, t), 9);
+    EXPECT_EQ(ctrl.update(1, t), 10);
+}
+
+TEST(DynamicLlc, DeadBandHoldsBalancedTraffic)
+{
+    DynamicPartitionController ctrl(params(), 4, 16);
+    EpochTraffic t;
+    t.localMemBytes = 1000;
+    t.interChipBytes = 1050; // within the 10% band
+    EXPECT_EQ(ctrl.update(2, t), 8);
+}
+
+TEST(DynamicLlc, ClampsAtMinWays)
+{
+    DynamicPartitionController ctrl(params(), 4, 16);
+    EpochTraffic t;
+    t.interChipBytes = 1000000;
+    for (int i = 0; i < 20; ++i)
+        ctrl.update(0, t);
+    EXPECT_EQ(ctrl.localWays(0), 2); // minWays
+    t.interChipBytes = 0;
+    t.localMemBytes = 1000000;
+    for (int i = 0; i < 40; ++i)
+        ctrl.update(0, t);
+    EXPECT_EQ(ctrl.localWays(0), 14); // ways - minWays
+}
+
+TEST(DynamicLlc, ChipsAreIndependent)
+{
+    DynamicPartitionController ctrl(params(), 2, 16);
+    EpochTraffic remote_heavy;
+    remote_heavy.interChipBytes = 1000;
+    ctrl.update(0, remote_heavy);
+    EXPECT_EQ(ctrl.localWays(0), 7);
+    EXPECT_EQ(ctrl.localWays(1), 8);
+}
+
+TEST(DynamicLlc, ResetRestoresBalance)
+{
+    DynamicPartitionController ctrl(params(), 2, 16);
+    EpochTraffic t;
+    t.interChipBytes = 1000;
+    ctrl.update(0, t);
+    ctrl.update(0, t);
+    ctrl.reset();
+    EXPECT_EQ(ctrl.localWays(0), 8);
+}
+
+TEST(DynamicLlc, TooFewWaysPanics)
+{
+    auto p = params();
+    p.minWays = 9;
+    EXPECT_THROW(DynamicPartitionController(p, 4, 16), PanicError);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,77 @@
+/** @file Unit tests for the LLC organization policies. */
+
+#include <gtest/gtest.h>
+
+#include "llc/organization.hh"
+
+namespace sac {
+namespace {
+
+TEST(Organization, FactoryBuildsEveryKind)
+{
+    for (const auto kind :
+         {OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
+          OrgKind::DynamicLlc, OrgKind::Sac}) {
+        const auto org = Organization::make(kind);
+        ASSERT_NE(org, nullptr);
+        EXPECT_EQ(org->kind(), kind);
+    }
+}
+
+TEST(Organization, CoherenceNeeds)
+{
+    EXPECT_FALSE(Organization::make(OrgKind::MemorySide)->cachesRemoteData());
+    EXPECT_TRUE(Organization::make(OrgKind::SmSide)->cachesRemoteData());
+    EXPECT_TRUE(Organization::make(OrgKind::StaticLlc)->cachesRemoteData());
+    EXPECT_TRUE(Organization::make(OrgKind::DynamicLlc)->cachesRemoteData());
+}
+
+TEST(Organization, OnlySmSideHasSeparateNoc)
+{
+    EXPECT_TRUE(Organization::make(OrgKind::SmSide)->separateRemoteNoc());
+    EXPECT_FALSE(Organization::make(OrgKind::Sac)->separateRemoteNoc());
+    EXPECT_FALSE(
+        Organization::make(OrgKind::MemorySide)->separateRemoteNoc());
+}
+
+TEST(Organization, WaySplits)
+{
+    EXPECT_EQ(Organization::make(OrgKind::MemorySide)->initialWaySplit(16),
+              16);
+    EXPECT_EQ(Organization::make(OrgKind::SmSide)->initialWaySplit(16), 16);
+    EXPECT_EQ(Organization::make(OrgKind::StaticLlc)->initialWaySplit(16),
+              8);
+    EXPECT_EQ(Organization::make(OrgKind::DynamicLlc)->initialWaySplit(16),
+              8);
+}
+
+TEST(Organization, OnlyDynamicRepartitions)
+{
+    EXPECT_TRUE(
+        Organization::make(OrgKind::DynamicLlc)->dynamicPartitioning());
+    EXPECT_FALSE(
+        Organization::make(OrgKind::StaticLlc)->dynamicPartitioning());
+}
+
+TEST(Organization, SacSwitchesRoutingWithMode)
+{
+    SacOrg sac;
+    EXPECT_EQ(sac.mode(), LlcMode::MemorySide);
+    EXPECT_STREQ(sac.routing().name(), "memory-side");
+    EXPECT_FALSE(sac.cachesRemoteData());
+    sac.setMode(LlcMode::SmSide);
+    EXPECT_STREQ(sac.routing().name(), "SM-side");
+    EXPECT_TRUE(sac.cachesRemoteData());
+    sac.setMode(LlcMode::MemorySide);
+    EXPECT_STREQ(sac.routing().name(), "memory-side");
+}
+
+TEST(Organization, DisplayNames)
+{
+    EXPECT_STREQ(toString(OrgKind::MemorySide), "Memory-side");
+    EXPECT_STREQ(toString(OrgKind::Sac), "SAC");
+    EXPECT_STREQ(Organization::make(OrgKind::StaticLlc)->name(), "Static");
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,98 @@
+/** @file Unit tests for the PAE-style randomized address mapping. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/address_map.hh"
+
+namespace sac {
+namespace {
+
+TEST(AddressMap, DeterministicPerAddress)
+{
+    AddressMap map(4, 2, 128);
+    for (Addr a = 0; a < 100 * 128; a += 128) {
+        EXPECT_EQ(map.sliceIndex(a), map.sliceIndex(a));
+        EXPECT_EQ(map.channelIndex(a), map.channelIndex(a));
+    }
+}
+
+TEST(AddressMap, SliceIndexInRange)
+{
+    AddressMap map(16, 8, 128);
+    for (Addr a = 0; a < 10000 * 128; a += 128) {
+        const int s = map.sliceIndex(a);
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, 16);
+        const int c = map.channelIndex(a);
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, 8);
+    }
+}
+
+TEST(AddressMap, SequentialLinesSpreadUniformly)
+{
+    // PAE's job: even strided footprints distribute across slices.
+    AddressMap map(4, 2, 128);
+    std::vector<int> counts(4, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<std::size_t>(
+            map.sliceIndex(static_cast<Addr>(i) * 128))];
+    for (const int c : counts) {
+        EXPECT_GT(c, n / 4 - n / 40);
+        EXPECT_LT(c, n / 4 + n / 40);
+    }
+}
+
+TEST(AddressMap, PageStridedAccessesAlsoSpread)
+{
+    // A pathological 4 KB stride must not camp on one slice/channel.
+    AddressMap map(8, 4, 128);
+    std::vector<int> slices(8, 0);
+    std::vector<int> channels(4, 0);
+    const int n = 32000;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = static_cast<Addr>(i) * 4096;
+        ++slices[static_cast<std::size_t>(map.sliceIndex(a))];
+        ++channels[static_cast<std::size_t>(map.channelIndex(a))];
+    }
+    for (const int c : slices) {
+        EXPECT_GT(c, n / 8 * 8 / 10);
+        EXPECT_LT(c, n / 8 * 12 / 10);
+    }
+    for (const int c : channels) {
+        EXPECT_GT(c, n / 4 * 9 / 10);
+        EXPECT_LT(c, n / 4 * 11 / 10);
+    }
+}
+
+TEST(AddressMap, SubLineOffsetsMapTogether)
+{
+    AddressMap map(4, 2, 128);
+    const Addr base = 0xabcd00;
+    for (unsigned off = 0; off < 128; ++off)
+        EXPECT_EQ(map.sliceIndex(base + off), map.sliceIndex(base));
+}
+
+TEST(AddressMap, SliceAndChannelChoicesAreIndependent)
+{
+    // Joint distribution should be close to the product of marginals.
+    AddressMap map(4, 4, 128);
+    int joint[4][4] = {};
+    const int n = 64000;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = static_cast<Addr>(i) * 128;
+        ++joint[map.sliceIndex(a)][map.channelIndex(a)];
+    }
+    for (int s = 0; s < 4; ++s) {
+        for (int c = 0; c < 4; ++c) {
+            EXPECT_GT(joint[s][c], n / 16 * 7 / 10);
+            EXPECT_LT(joint[s][c], n / 16 * 13 / 10);
+        }
+    }
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,92 @@
+/** @file Unit tests for the DRAM channel model. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mem/dram.hh"
+
+namespace sac {
+namespace {
+
+Packet
+readPkt(Addr line, unsigned bytes = 128)
+{
+    Packet p;
+    p.kind = PacketKind::Request;
+    p.lineAddr = line;
+    p.bytes = bytes;
+    return p;
+}
+
+TEST(Dram, RequestCompletesAfterServiceAndLatency)
+{
+    DramChannel ch(64.0, 100, 8); // 64 B/cy, 100-cycle latency
+    ch.push(readPkt(0, 128), 0);
+    Packet out;
+    // 128 bytes at 64 B/cy = 2 cycles of service + 100 latency.
+    EXPECT_FALSE(ch.popReady(out, 101));
+    EXPECT_TRUE(ch.popReady(out, 102));
+    EXPECT_EQ(out.lineAddr, 0u);
+}
+
+TEST(Dram, BandwidthSerializesBackToBackRequests)
+{
+    DramChannel ch(64.0, 0, 64);
+    for (int i = 0; i < 10; ++i)
+        ch.push(readPkt(static_cast<Addr>(i) * 128, 128), 0);
+    Packet out;
+    int completed = 0;
+    // Each transfer takes 2 cycles; after 10 cycles only 5 can be done.
+    for (Cycle t = 0; t <= 10; ++t) {
+        while (ch.popReady(out, t))
+            ++completed;
+    }
+    EXPECT_EQ(completed, 5);
+}
+
+TEST(Dram, QueueDepthBackpressure)
+{
+    DramChannel ch(1.0, 10, 2);
+    EXPECT_TRUE(ch.canAccept());
+    ch.push(readPkt(0), 0);
+    ch.push(readPkt(128), 0);
+    EXPECT_FALSE(ch.canAccept());
+    // Drain one and space opens up.
+    Packet out;
+    Cycle t = 0;
+    while (!ch.popReady(out, t))
+        ++t;
+    EXPECT_TRUE(ch.canAccept());
+}
+
+TEST(Dram, BytesServedAccumulates)
+{
+    DramChannel ch(64.0, 0, 8);
+    ch.push(readPkt(0, 128), 0);
+    ch.push(readPkt(128, 32), 0);
+    EXPECT_EQ(ch.bytesServed(), 160u);
+}
+
+TEST(Dram, BulkOccupancyDelaysLaterRequests)
+{
+    DramChannel ch(64.0, 0, 8);
+    const Cycle done = ch.occupyBulk(6400, 0); // 100 cycles of transfer
+    EXPECT_EQ(done, 100u);
+    ch.push(readPkt(0, 128), 0);
+    Packet out;
+    EXPECT_FALSE(ch.popReady(out, 100));
+    EXPECT_TRUE(ch.popReady(out, 102));
+}
+
+TEST(Dram, IdleChannelDoesNotAccumulateCredit)
+{
+    DramChannel ch(64.0, 0, 8);
+    // Wait a long time, then push: service still takes bytes/bw.
+    ch.push(readPkt(0, 128), 1000);
+    Packet out;
+    EXPECT_FALSE(ch.popReady(out, 1001));
+    EXPECT_TRUE(ch.popReady(out, 1002));
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,78 @@
+/** @file Unit tests for first-touch page placement. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mem/page_table.hh"
+
+namespace sac {
+namespace {
+
+TEST(PageTable, FirstToucherWins)
+{
+    PageTable pt(4096, 4);
+    EXPECT_EQ(pt.touch(0x1000, 2), 2);
+    // Later touches by other chips do not move the page.
+    EXPECT_EQ(pt.touch(0x1000, 0), 2);
+    EXPECT_EQ(pt.touch(0x1040, 3), 2); // same page, different line
+    EXPECT_EQ(pt.homeOf(0x1fc0), 2);
+}
+
+TEST(PageTable, DistinctPagesIndependent)
+{
+    PageTable pt(4096, 4);
+    pt.touch(0x0000, 0);
+    pt.touch(0x1000, 1);
+    pt.touch(0x2000, 2);
+    EXPECT_EQ(pt.homeOf(0x0000), 0);
+    EXPECT_EQ(pt.homeOf(0x1000), 1);
+    EXPECT_EQ(pt.homeOf(0x2000), 2);
+    EXPECT_EQ(pt.totalPages(), 3u);
+}
+
+TEST(PageTable, UntouchedPageHasNoHome)
+{
+    PageTable pt(4096, 4);
+    EXPECT_EQ(pt.homeOf(0x5000), invalidChip);
+}
+
+TEST(PageTable, PerChipCounters)
+{
+    PageTable pt(4096, 2);
+    pt.touch(0x0000, 0);
+    pt.touch(0x1000, 0);
+    pt.touch(0x2000, 1);
+    pt.touch(0x2000, 0); // already placed, no recount
+    EXPECT_EQ(pt.pagesPerChip()[0], 2u);
+    EXPECT_EQ(pt.pagesPerChip()[1], 1u);
+}
+
+TEST(PageTable, ClearForgetsPlacements)
+{
+    PageTable pt(4096, 2);
+    pt.touch(0x0000, 1);
+    pt.clear();
+    EXPECT_EQ(pt.homeOf(0x0000), invalidChip);
+    EXPECT_EQ(pt.totalPages(), 0u);
+    EXPECT_EQ(pt.pagesPerChip()[1], 0u);
+    // And re-placement works after clearing.
+    EXPECT_EQ(pt.touch(0x0000, 0), 0);
+}
+
+TEST(PageTable, TouchFromUnknownChipPanics)
+{
+    PageTable pt(4096, 2);
+    EXPECT_THROW(pt.touch(0x0, 5), PanicError);
+    EXPECT_THROW(pt.touch(0x0, -1), PanicError);
+}
+
+TEST(PageTable, LargePageSizeGroupsLines)
+{
+    PageTable pt(65536, 4); // 64 KB pages (Fig. 14 page-size axis)
+    pt.touch(0x0000, 3);
+    EXPECT_EQ(pt.homeOf(0xFFC0), 3);   // still page 0
+    EXPECT_EQ(pt.homeOf(0x10000), invalidChip);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,107 @@
+/** @file Unit tests for the SAC runtime controller. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sac/controller.hh"
+
+namespace sac {
+namespace {
+
+GpuConfig
+cfg()
+{
+    auto c = GpuConfig::scaled(4);
+    c.sac.profileWindow = 100;
+    return c;
+}
+
+TEST(Controller, KernelStartOpensWindowMemorySide)
+{
+    SacOrg org;
+    org.setMode(LlcMode::SmSide);
+    Controller ctrl(cfg(), org);
+    ctrl.beginKernel(0, 50);
+    EXPECT_EQ(org.mode(), LlcMode::MemorySide);
+    EXPECT_TRUE(ctrl.profiling(60));
+    EXPECT_FALSE(ctrl.profiling(150));
+    EXPECT_EQ(ctrl.windowEndCycle(), 150u);
+}
+
+TEST(Controller, SmFriendlyProfileSwitchesMode)
+{
+    SacOrg org;
+    Controller ctrl(cfg(), org);
+    ctrl.beginKernel(0, 0);
+    // Remote-heavy, replication-friendly traffic: many truly shared
+    // lines reused by every chip.
+    for (int round = 0; round < 6; ++round) {
+        for (int i = 0; i < 400; ++i) {
+            for (ChipId src = 0; src < 4; ++src) {
+                ctrl.profiler().onL1Miss(src, i % 4, i % 4,
+                                         0x80ull * i, 0);
+            }
+        }
+    }
+    const auto d = ctrl.endWindow(/*measured_mem_hit_rate=*/0.9, 100);
+    EXPECT_EQ(d.chosen, LlcMode::SmSide);
+    EXPECT_EQ(org.mode(), LlcMode::SmSide);
+    EXPECT_EQ(ctrl.history().size(), 1u);
+}
+
+TEST(Controller, LocalHeavyProfileStaysMemorySide)
+{
+    SacOrg org;
+    Controller ctrl(cfg(), org);
+    ctrl.beginKernel(0, 0);
+    // 90% local traffic with a high memory-side hit rate: nothing to
+    // gain from SM-side caching.
+    for (int i = 0; i < 4000; ++i) {
+        const ChipId src = i % 4;
+        const ChipId home = (i % 10 == 0) ? (src + 1) % 4 : src;
+        ctrl.profiler().onL1Miss(src, home, i % 4,
+                                 0x100000ull * src + 0x80ull * i, 0);
+    }
+    const auto d = ctrl.endWindow(0.9, 100);
+    EXPECT_EQ(d.chosen, LlcMode::MemorySide);
+    EXPECT_EQ(org.mode(), LlcMode::MemorySide);
+}
+
+TEST(Controller, EndKernelRevertsToMemorySide)
+{
+    SacOrg org;
+    Controller ctrl(cfg(), org);
+    ctrl.beginKernel(0, 0);
+    org.setMode(LlcMode::SmSide); // as if the decision switched
+    EXPECT_TRUE(ctrl.endKernel()); // flush needed
+    EXPECT_EQ(org.mode(), LlcMode::MemorySide);
+    ctrl.beginKernel(1, 1000);
+    ctrl.endWindow(0.9, 1100);
+    EXPECT_FALSE(ctrl.endKernel() &&
+                 ctrl.mode() == LlcMode::SmSide); // consistent state
+}
+
+TEST(Controller, DecisionRecordsInputsAndEab)
+{
+    SacOrg org;
+    Controller ctrl(cfg(), org);
+    ctrl.beginKernel(3, 0);
+    ctrl.profiler().onL1Miss(0, 0, 0, 0x1000, 0);
+    const auto d = ctrl.endWindow(0.7, 100);
+    EXPECT_EQ(d.kernel, 3);
+    EXPECT_DOUBLE_EQ(d.inputs.hitMem, 0.7);
+    EXPECT_GT(d.eab.memSide.total(), 0.0);
+}
+
+TEST(Controller, EndWindowTwicePanics)
+{
+    SacOrg org;
+    Controller ctrl(cfg(), org);
+    ctrl.beginKernel(0, 0);
+    ctrl.endWindow(0.5, 100);
+    EXPECT_THROW(ctrl.endWindow(0.5, 200), PanicError);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,134 @@
+/** @file Unit and property tests for the Chip Request Directory. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sac/crd.hh"
+
+namespace sac {
+namespace {
+
+TEST(Crd, FirstAccessMissesSecondHits)
+{
+    Crd crd(8, 16, 4, 1, /*sample_rate=*/1);
+    crd.access(0x1000, 0, 0);
+    EXPECT_EQ(crd.hits(), 0u);
+    crd.access(0x1000, 0, 0);
+    EXPECT_EQ(crd.hits(), 1u);
+    EXPECT_EQ(crd.requests(), 2u);
+}
+
+TEST(Crd, EachChipWarmsItsOwnBit)
+{
+    Crd crd(8, 16, 4, 1, 1);
+    crd.access(0x1000, 0, 0); // miss, sets bit 0
+    crd.access(0x1000, 0, 1); // miss (one other sharer only)
+    crd.access(0x1000, 0, 1); // hit for chip 1
+    crd.access(0x1000, 0, 0); // hit for chip 0
+    EXPECT_EQ(crd.hits(), 2u);
+}
+
+TEST(Crd, ProvenTrueSharingCountsNewChipAsHit)
+{
+    // Two other sharers prove the line is truly shared; a third chip's
+    // first touch counts as a steady-state replica hit.
+    Crd crd(8, 16, 4, 1, 1);
+    crd.access(0x1000, 0, 0);
+    crd.access(0x1000, 0, 1);
+    EXPECT_EQ(crd.hits(), 0u);
+    crd.access(0x1000, 0, 2);
+    EXPECT_EQ(crd.hits(), 1u);
+    crd.access(0x1000, 0, 3);
+    EXPECT_EQ(crd.hits(), 2u);
+}
+
+TEST(Crd, SamplingFiltersRequests)
+{
+    Crd crd(8, 16, 4, 1, /*sample_rate=*/16);
+    for (Addr a = 0; a < 1000 * 128; a += 128)
+        crd.access(a, 0, 0);
+    // Roughly 1/16 of lines are sampled.
+    EXPECT_NEAR(static_cast<double>(crd.requests()), 1000.0 / 16.0, 25.0);
+}
+
+TEST(Crd, ResetCountersKeepsLearnedState)
+{
+    Crd crd(8, 16, 4, 1, 1);
+    crd.access(0x1000, 0, 0);
+    crd.resetCounters();
+    EXPECT_EQ(crd.requests(), 0u);
+    crd.access(0x1000, 0, 0); // warm from before: hit
+    EXPECT_EQ(crd.hits(), 1u);
+    EXPECT_EQ(crd.requests(), 1u);
+}
+
+TEST(Crd, FullResetForgetsEverything)
+{
+    Crd crd(8, 16, 4, 1, 1);
+    crd.access(0x1000, 0, 0);
+    crd.reset();
+    crd.access(0x1000, 0, 0);
+    EXPECT_EQ(crd.hits(), 0u);
+}
+
+TEST(Crd, PredictsHighForFittingWorkingSet)
+{
+    // Working set within the modelled slot budget: prediction should
+    // approach the true steady-state hit rate.
+    Crd crd(32, 16, 4, 1, /*sample_rate=*/1);
+    Rng rng(1);
+    const std::uint64_t lines = 100; // 100 lines x up to 4 sharers < 512
+    for (int i = 0; i < 8000; ++i)
+        crd.access(rng.nextBounded(lines) * 128, 0,
+                   static_cast<ChipId>(rng.nextBounded(4)));
+    crd.resetCounters();
+    for (int i = 0; i < 8000; ++i)
+        crd.access(rng.nextBounded(lines) * 128, 0,
+                   static_cast<ChipId>(rng.nextBounded(4)));
+    EXPECT_GT(crd.predictedHitRate(), 0.85);
+}
+
+TEST(Crd, PredictsLowForThrashingWorkingSet)
+{
+    // Working set far beyond the slot budget: replication thrash.
+    Crd crd(32, 16, 4, 1, 1);
+    Rng rng(2);
+    const std::uint64_t lines = 4000; // x4 sharers >> 512 slots
+    for (int i = 0; i < 8000; ++i)
+        crd.access(rng.nextBounded(lines) * 128, 0,
+                   static_cast<ChipId>(rng.nextBounded(4)));
+    crd.resetCounters();
+    for (int i = 0; i < 8000; ++i)
+        crd.access(rng.nextBounded(lines) * 128, 0,
+                   static_cast<ChipId>(rng.nextBounded(4)));
+    EXPECT_LT(crd.predictedHitRate(), 0.3);
+}
+
+TEST(Crd, SectoredTracksPerSectorBits)
+{
+    Crd crd(8, 16, 4, 4, 1);
+    crd.access(0x1000, 0, 0);
+    crd.access(0x1000, 1, 0); // different sector: miss
+    EXPECT_EQ(crd.hits(), 0u);
+    crd.access(0x1000, 1, 0); // now a hit
+    EXPECT_EQ(crd.hits(), 1u);
+}
+
+TEST(Crd, StorageMatchesPaperFormula)
+{
+    // Paper geometry: 8x16 blocks, 30-bit tag + 4 chip bits = 544 B.
+    Crd paper(8, 16, 4, 1, 64);
+    EXPECT_EQ(paper.storageBytes(), 544u);
+    // Sectored: 4 bits per chip -> 736 B.
+    Crd sectored(8, 16, 4, 4, 64);
+    EXPECT_EQ(sectored.storageBytes(), 736u);
+}
+
+TEST(Crd, FallbackHitRateWithoutSamples)
+{
+    Crd crd(8, 16, 4, 1, 1);
+    EXPECT_DOUBLE_EQ(crd.predictedHitRate(0.42), 0.42);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,179 @@
+/** @file Unit and property tests for the EAB analytical model. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "sac/eab.hh"
+
+namespace sac::eab {
+namespace {
+
+ArchParams
+arch()
+{
+    ArchParams a;
+    a.bIntra = 16384; // 4 chips x 4096
+    a.bInter = 1536;  // 4 chips x 384
+    a.bLlc = 16384;
+    a.bMem = 1792;
+    return a;
+}
+
+TEST(Eab, ArchParamsFromConfigMatchHandValues)
+{
+    const auto a = ArchParams::fromConfig(GpuConfig::paperBaseline());
+    EXPECT_NEAR(a.bIntra, 16384.0, 1.0);
+    EXPECT_NEAR(a.bInter, 1536.0, 1.0);
+    EXPECT_NEAR(a.bLlc, 16384.0, 1.0);
+    EXPECT_NEAR(a.bMem, 1792.0, 64.0);
+}
+
+TEST(Eab, MemorySideRemoteIsCappedByInterChipLinks)
+{
+    WorkloadParams wl;
+    wl.rLocal = 0.25; // 3/4 remote: bandwidth-hungry remote class
+    wl.hitMem = 1.0;  // everything hits
+    wl.hitSm = 1.0;
+    const auto r = evaluate(arch(), wl);
+    // Remote EAB can never exceed B_inter under memory-side.
+    EXPECT_LE(r.memSide.remote, 1536.0 + 1e-9);
+    // SM-side serves remote data from the local LLC: way above B_inter.
+    EXPECT_GT(r.smSide.remote, 1536.0);
+}
+
+TEST(Eab, SmSideWithThrashingFallsBehind)
+{
+    WorkloadParams wl;
+    wl.rLocal = 0.7;
+    wl.hitMem = 0.9;  // memory-side keeps its hit rate
+    wl.hitSm = 0.2;   // replication thrashes
+    const auto r = evaluate(arch(), wl);
+    EXPECT_GT(r.memSide.total(), r.smSide.total());
+    EXPECT_FALSE(r.preferSmSide(0.05));
+}
+
+TEST(Eab, SmSideWithReplicationFriendlySharingWins)
+{
+    WorkloadParams wl;
+    wl.rLocal = 0.4;
+    wl.hitMem = 0.9;
+    wl.hitSm = 0.85;
+    const auto r = evaluate(arch(), wl);
+    EXPECT_TRUE(r.preferSmSide(0.05));
+}
+
+TEST(Eab, HandComputedMemorySideCase)
+{
+    // All requests local, perfect hits: EAB_local =
+    // min(B_intra, B_LLC * LSU * hit) and EAB_remote = 0-ish cap.
+    WorkloadParams wl;
+    wl.rLocal = 1.0;
+    wl.lsuMem = 1.0;
+    wl.hitMem = 1.0;
+    const auto r = evaluate(arch(), wl);
+    EXPECT_NEAR(r.memSide.local, 16384.0, 1e-6);
+    // Remote class carries no requests: hit/miss terms are zero, so
+    // the min picks the zero traffic terms.
+    EXPECT_NEAR(r.memSide.remote, 0.0, 1e-6);
+}
+
+TEST(Eab, HandComputedMissBoundedCase)
+{
+    // No hits: local EAB bounded by memory bandwidth share.
+    WorkloadParams wl;
+    wl.rLocal = 1.0;
+    wl.lsuMem = 1.0;
+    wl.hitMem = 0.0;
+    const auto r = evaluate(arch(), wl);
+    // min(B_LLC_miss = 16384, B_mem = 1792) = 1792.
+    EXPECT_NEAR(r.memSide.local, 1792.0, 1e-6);
+}
+
+TEST(Eab, LowLsuShrinksLlcBandwidth)
+{
+    WorkloadParams uniform;
+    uniform.rLocal = 1.0;
+    uniform.lsuMem = 1.0;
+    uniform.hitMem = 1.0;
+    WorkloadParams camped = uniform;
+    camped.lsuMem = 1.0 / 64.0; // all requests on one slice
+    const auto ru = evaluate(arch(), uniform);
+    const auto rc = evaluate(arch(), camped);
+    EXPECT_LT(rc.memSide.total(), ru.memSide.total() / 10.0);
+}
+
+TEST(Eab, ThresholdGatesTheDecision)
+{
+    Result r;
+    r.memSide.local = 1000.0;
+    r.smSide.local = 1040.0;
+    EXPECT_TRUE(r.preferSmSide(0.0));
+    EXPECT_FALSE(r.preferSmSide(0.05)); // 4% gain < 5% threshold
+}
+
+TEST(Eab, SliceUniformityFormula)
+{
+    // Uniform: LSU = 1; all-on-one: LSU = 1/N.
+    EXPECT_DOUBLE_EQ(sliceUniformity({10, 10, 10, 10}), 1.0);
+    EXPECT_DOUBLE_EQ(sliceUniformity({40, 0, 0, 0}), 0.25);
+    EXPECT_DOUBLE_EQ(sliceUniformity({0, 0, 0, 0}), 1.0); // no traffic
+    // Mixed case: (1 + 0.5 + 0.25 + 0.25) / 4.
+    EXPECT_DOUBLE_EQ(sliceUniformity({20, 10, 5, 5}), 0.5);
+}
+
+TEST(Eab, MonotonicInSmSideHitRateProperty)
+{
+    WorkloadParams wl;
+    wl.rLocal = 0.5;
+    wl.hitMem = 0.8;
+    double prev = -1.0;
+    for (double h = 0.0; h <= 1.0; h += 0.05) {
+        wl.hitSm = h;
+        const auto r = evaluate(arch(), wl);
+        EXPECT_GE(r.smSide.total(), prev - 1e-9);
+        prev = r.smSide.total();
+    }
+}
+
+TEST(Eab, TotalsNeverExceedPhysicalCapsProperty)
+{
+    Rng rng(77);
+    const auto a = arch();
+    for (int i = 0; i < 500; ++i) {
+        WorkloadParams wl;
+        wl.rLocal = rng.nextDouble();
+        wl.lsuMem = 0.1 + 0.9 * rng.nextDouble();
+        wl.lsuSm = 0.1 + 0.9 * rng.nextDouble();
+        wl.hitMem = rng.nextDouble();
+        wl.hitSm = rng.nextDouble();
+        const auto r = evaluate(a, wl);
+        EXPECT_LE(r.memSide.local, a.bIntra + 1e-6);
+        EXPECT_LE(r.memSide.remote, a.bInter + 1e-6);
+        EXPECT_LE(r.smSide.total(), a.bIntra + 1e-6);
+        EXPECT_GE(r.memSide.total(), 0.0);
+        EXPECT_GE(r.smSide.total(), 0.0);
+    }
+}
+
+TEST(Eab, SummaryMentionsBothConfigs)
+{
+    WorkloadParams wl;
+    const auto text = evaluate(arch(), wl).summary();
+    EXPECT_NE(text.find("mem-side"), std::string::npos);
+    EXPECT_NE(text.find("SM-side"), std::string::npos);
+}
+
+TEST(Eab, InvalidInputsPanic)
+{
+    WorkloadParams wl;
+    wl.rLocal = 1.5;
+    EXPECT_THROW(evaluate(arch(), wl), PanicError);
+    wl.rLocal = 0.5;
+    wl.hitMem = -0.1;
+    EXPECT_THROW(evaluate(arch(), wl), PanicError);
+}
+
+} // namespace
+} // namespace sac::eab

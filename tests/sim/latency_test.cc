@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Latency accounting: a single uncontended access must pay exactly
+ * the component latencies on its path, and remote paths must pay the
+ * inter-chip hops. Uses a one-access trace so no queueing noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+
+namespace sac {
+namespace {
+
+/** One read for warp (0,0,0); everything else idles. */
+class OneShotTrace : public TraceSource
+{
+  public:
+    explicit OneShotTrace(Addr line) : line_(line) {}
+
+    MemAccess next(ChipId, ClusterId, int) override
+    {
+        MemAccess acc;
+        acc.lineAddr = line_;
+        acc.type = AccessType::Read;
+        acc.gap = 0;
+        return acc;
+    }
+
+  private:
+    Addr line_;
+};
+
+GpuConfig
+cfg()
+{
+    GpuConfig c = GpuConfig::scaled(8);
+    c.warpsPerCluster = 1;
+    c.clustersPerChip = 1;
+    return c;
+}
+
+/**
+ * Runs one access per warp on every cluster (all clusters must finish
+ * for the run to end) and returns the average load latency.
+ */
+double
+latencyFor(const GpuConfig &c, OrgKind kind, Addr line)
+{
+    OneShotTrace trace(line);
+    System sys(c, kind, trace);
+    const auto r = sys.run({{0, "k", 1}});
+    return r.avgLoadLatency;
+}
+
+TEST(Latency, LocalMissPaysXbarLlcAndDram)
+{
+    const auto c = cfg();
+    const double lat = latencyFor(c, OrgKind::MemorySide, 0x1000);
+    // Request crossbar + DRAM latency + response crossbar at minimum;
+    // each queue also needs a cycle of credit, and the first-touch
+    // home is the first toucher so some accesses are local, some
+    // remote — the average must be at least the local path.
+    const double floor =
+        static_cast<double>(c.xbarLatency + c.dramLatency + c.xbarLatency);
+    EXPECT_GE(lat, floor);
+    // And within a small constant of the full remote path.
+    const double ceiling = static_cast<double>(
+        c.xbarLatency * 2 + c.dramLatency + 2 * c.interChipLatency + 64);
+    EXPECT_LE(lat, ceiling);
+}
+
+TEST(Latency, WarmHitIsMuchCheaperThanMiss)
+{
+    // Two accesses to the same line: the second hits the L1.
+    const auto c = cfg();
+    OneShotTrace trace(0x2000);
+    System sys(c, OrgKind::MemorySide, trace);
+    const auto r = sys.run({{0, "k", 2}});
+    // Average of (full miss, L1 hit): well below the miss-only case.
+    const double miss_only = latencyFor(c, OrgKind::MemorySide, 0x2000);
+    EXPECT_LT(r.avgLoadLatency, miss_only);
+}
+
+TEST(Latency, InterChipLatencyShowsUpInRemotePaths)
+{
+    // Compare a system with tiny vs. huge inter-chip latency: with
+    // 4 chips and a truly shared line, remote requesters pay the hops.
+    auto fast = cfg();
+    fast.interChipLatency = 10;
+    auto slow = cfg();
+    slow.interChipLatency = 400;
+    const double lat_fast = latencyFor(fast, OrgKind::MemorySide, 0x3000);
+    const double lat_slow = latencyFor(slow, OrgKind::MemorySide, 0x3000);
+    // 3 of 4 chips are remote to the line's home: the average rises
+    // by roughly 2 * delta * 3/4.
+    EXPECT_GT(lat_slow - lat_fast, 400.0);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,91 @@
+/** @file Unit tests for workload profiles. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "workload/profile.hh"
+
+namespace sac {
+namespace {
+
+TEST(Profile, PrivateIsFootprintMinusShared)
+{
+    WorkloadProfile p;
+    p.footprintMB = 100;
+    p.trueSharedMB = 30;
+    p.falseSharedMB = 20;
+    EXPECT_DOUBLE_EQ(p.privateMB(), 50.0);
+}
+
+TEST(Profile, PrivateNeverNegative)
+{
+    WorkloadProfile p;
+    p.footprintMB = 10;
+    p.trueSharedMB = 8;
+    p.falseSharedMB = 8;
+    EXPECT_DOUBLE_EQ(p.privateMB(), 0.0);
+}
+
+TEST(Profile, ScaledDataDividesEverything)
+{
+    WorkloadProfile p;
+    p.footprintMB = 96;
+    p.trueSharedMB = 16;
+    p.falseSharedMB = 32;
+    p.phases[0].trueHotMB = 8;
+    p.phases[0].falseHotMB = 12;
+    p.phases[0].privHotMB = 4;
+    const auto s = p.scaledData(4.0);
+    EXPECT_DOUBLE_EQ(s.footprintMB, 24.0);
+    EXPECT_DOUBLE_EQ(s.trueSharedMB, 4.0);
+    EXPECT_DOUBLE_EQ(s.falseSharedMB, 8.0);
+    EXPECT_DOUBLE_EQ(s.phases[0].trueHotMB, 2.0);
+    EXPECT_DOUBLE_EQ(s.phases[0].falseHotMB, 3.0);
+    EXPECT_DOUBLE_EQ(s.phases[0].privHotMB, 1.0);
+    // Fractions are untouched.
+    EXPECT_DOUBLE_EQ(s.phases[0].trueFrac, p.phases[0].trueFrac);
+}
+
+TEST(Profile, InputScaleMultiplies)
+{
+    WorkloadProfile p;
+    p.footprintMB = 10;
+    p.trueSharedMB = 2;
+    p.falseSharedMB = 3;
+    const auto big = p.withInputScale(8.0);
+    EXPECT_DOUBLE_EQ(big.footprintMB, 80.0);
+    const auto small = p.withInputScale(1.0 / 32.0);
+    EXPECT_DOUBLE_EQ(small.trueSharedMB, 0.0625);
+}
+
+TEST(Profile, ScaleRoundTripsApproximately)
+{
+    WorkloadProfile p;
+    p.footprintMB = 97;
+    const auto round = p.scaledData(4.0).withInputScale(4.0);
+    EXPECT_NEAR(round.footprintMB, 97.0, 1e-9);
+}
+
+TEST(Profile, PhasesCycle)
+{
+    WorkloadProfile p;
+    KernelPhase a;
+    a.trueFrac = 0.1;
+    KernelPhase b;
+    b.trueFrac = 0.9;
+    p.phases = {a, b};
+    EXPECT_DOUBLE_EQ(p.phase(0).trueFrac, 0.1);
+    EXPECT_DOUBLE_EQ(p.phase(1).trueFrac, 0.9);
+    EXPECT_DOUBLE_EQ(p.phase(2).trueFrac, 0.1);
+    EXPECT_DOUBLE_EQ(p.phase(5).trueFrac, 0.9);
+}
+
+TEST(Profile, BadScaleArgumentsAreFatal)
+{
+    WorkloadProfile p;
+    EXPECT_THROW(p.scaledData(0.0), PanicError);
+    EXPECT_THROW(p.withInputScale(-1.0), PanicError);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,127 @@
+/** @file Tests for trace recording and replay. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "workload/trace_file.hh"
+#include "workload/tracegen.hh"
+
+namespace sac {
+namespace {
+
+GpuConfig
+cfg()
+{
+    GpuConfig c = GpuConfig::scaled(8);
+    c.warpsPerCluster = 2;
+    return c;
+}
+
+WorkloadProfile
+profile()
+{
+    WorkloadProfile p;
+    p.name = "trace-test";
+    p.ctas = 16;
+    p.footprintMB = 2;
+    p.trueSharedMB = 0.5;
+    p.falseSharedMB = 0.5;
+    p.phases[0].writeFrac = 0.3;
+    return p;
+}
+
+TEST(TraceFile, RecordReplayRoundTrip)
+{
+    auto c = cfg();
+    SharingTraceGen gen(profile(), c, 1);
+    std::ostringstream os;
+    TraceRecorder rec(gen, os);
+    std::vector<MemAccess> original;
+    for (int i = 0; i < 200; ++i)
+        original.push_back(rec.next(i % 4, i % 4, i % 2));
+    EXPECT_EQ(rec.recorded(), 200u);
+
+    std::istringstream is(os.str());
+    TraceFileSource replay(is);
+    EXPECT_EQ(replay.size(), 200u);
+    for (int i = 0; i < 200; ++i) {
+        const auto acc = replay.next(i % 4, i % 4, i % 2);
+        EXPECT_EQ(acc.lineAddr, original[static_cast<std::size_t>(i)]
+                                    .lineAddr);
+        EXPECT_EQ(acc.type, original[static_cast<std::size_t>(i)].type);
+        EXPECT_EQ(acc.gap, original[static_cast<std::size_t>(i)].gap);
+    }
+}
+
+TEST(TraceFile, StreamsAreIndependentPerWarp)
+{
+    std::istringstream is(
+        "#sactrace v1\n"
+        "0 0 0 1000 0 R 5\n"
+        "0 0 1 2000 0 W 7\n"
+        "0 0 0 3000 0 R 5\n");
+    TraceFileSource src(is);
+    EXPECT_EQ(src.streams(), 2u);
+    EXPECT_EQ(src.next(0, 0, 0).lineAddr, 0x1000u);
+    EXPECT_EQ(src.next(0, 0, 1).lineAddr, 0x2000u);
+    EXPECT_EQ(src.next(0, 0, 1).type, AccessType::Write); // wrapped
+    EXPECT_EQ(src.next(0, 0, 0).lineAddr, 0x3000u);
+    EXPECT_EQ(src.next(0, 0, 0).lineAddr, 0x1000u); // wrapped
+}
+
+TEST(TraceFile, CommentsAndKernelMarkersAreSkipped)
+{
+    std::istringstream is(
+        "#sactrace v1\n"
+        "# a comment\n"
+        "#kernel 0\n"
+        "1 2 3 abc0 0 R 9\n");
+    TraceFileSource src(is);
+    EXPECT_EQ(src.size(), 1u);
+    const auto acc = src.next(1, 2, 3);
+    EXPECT_EQ(acc.lineAddr, 0xabc0u);
+    EXPECT_EQ(acc.gap, 9u);
+}
+
+TEST(TraceFile, MissingHeaderIsFatal)
+{
+    std::istringstream is("0 0 0 1000 0 R 5\n");
+    EXPECT_THROW(TraceFileSource src(is), FatalError);
+}
+
+TEST(TraceFile, MalformedLineIsFatal)
+{
+    std::istringstream is("#sactrace v1\n0 0 zebra\n");
+    EXPECT_THROW(TraceFileSource src(is), FatalError);
+}
+
+TEST(TraceFile, BadAccessTypeIsFatal)
+{
+    std::istringstream is("#sactrace v1\n0 0 0 1000 0 X 5\n");
+    EXPECT_THROW(TraceFileSource src(is), FatalError);
+}
+
+TEST(TraceFile, EmptyTraceIsFatal)
+{
+    std::istringstream is("#sactrace v1\n");
+    EXPECT_THROW(TraceFileSource src(is), FatalError);
+}
+
+TEST(TraceFile, UnknownStreamIsFatal)
+{
+    std::istringstream is("#sactrace v1\n0 0 0 1000 0 R 5\n");
+    TraceFileSource src(is);
+    EXPECT_THROW(src.next(3, 0, 0), FatalError);
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_THROW(TraceFileSource::fromFile("/nonexistent/trace.txt"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace sac

@@ -1,0 +1,242 @@
+/** @file Unit and property tests for the sharing trace generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/config.hh"
+#include "workload/tracegen.hh"
+
+namespace sac {
+namespace {
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig cfg = GpuConfig::scaled(4);
+    cfg.warpsPerCluster = 4;
+    return cfg;
+}
+
+WorkloadProfile
+smallProfile()
+{
+    WorkloadProfile p;
+    p.name = "test";
+    p.ctas = 64;
+    p.footprintMB = 8;
+    p.trueSharedMB = 2;
+    p.falseSharedMB = 2;
+    p.phases[0].trueFrac = 0.3;
+    p.phases[0].falseFrac = 0.3;
+    p.phases[0].writeFrac = 0.25;
+    p.phases[0].rereadFrac = 0.0; // keep streams pure for class checks
+    return p;
+}
+
+TEST(TraceGen, ClassificationMatchesRegions)
+{
+    auto cfg = smallConfig();
+    SharingTraceGen gen(smallProfile(), cfg, 1);
+    std::map<SharingClass, int> seen;
+    for (int i = 0; i < 20000; ++i) {
+        const auto acc = gen.next(i % 4, 0, i % 4);
+        ++seen[gen.classify(acc.lineAddr)];
+    }
+    EXPECT_GT(seen[SharingClass::TrueShared], 0);
+    EXPECT_GT(seen[SharingClass::FalseShared], 0);
+    EXPECT_GT(seen[SharingClass::Private], 0);
+}
+
+TEST(TraceGen, AccessMixMatchesFractions)
+{
+    auto cfg = smallConfig();
+    SharingTraceGen gen(smallProfile(), cfg, 1);
+    int true_n = 0;
+    int false_n = 0;
+    int priv_n = 0;
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const auto acc = gen.next(i % 4, (i / 4) % 8, (i / 32) % 4);
+        switch (gen.classify(acc.lineAddr)) {
+          case SharingClass::TrueShared: ++true_n; break;
+          case SharingClass::FalseShared: ++false_n; break;
+          case SharingClass::Private: ++priv_n; break;
+        }
+        writes += acc.type == AccessType::Write ? 1 : 0;
+    }
+    EXPECT_NEAR(true_n / double(n), 0.3, 0.02);
+    EXPECT_NEAR(false_n / double(n), 0.3, 0.02);
+    EXPECT_NEAR(priv_n / double(n), 0.4, 0.02);
+    EXPECT_NEAR(writes / double(n), 0.25, 0.02);
+}
+
+TEST(TraceGen, FalseSharedLinesAreChipDisjoint)
+{
+    // The defining property of false sharing: chips share pages but
+    // never lines.
+    auto cfg = smallConfig();
+    SharingTraceGen gen(smallProfile(), cfg, 3);
+    std::map<Addr, int> owner;
+    for (int i = 0; i < 40000; ++i) {
+        const ChipId chip = i % 4;
+        const auto acc = gen.next(chip, 0, i % 4);
+        if (gen.classify(acc.lineAddr) != SharingClass::FalseShared)
+            continue;
+        auto [it, inserted] = owner.emplace(acc.lineAddr, chip);
+        if (!inserted) {
+            ASSERT_EQ(it->second, chip) << "line 0x" << std::hex
+                                        << acc.lineAddr;
+        }
+    }
+    EXPECT_GT(owner.size(), 100u);
+}
+
+TEST(TraceGen, FalseSharedPagesAreShared)
+{
+    auto cfg = smallConfig();
+    SharingTraceGen gen(smallProfile(), cfg, 3);
+    std::map<Addr, std::set<ChipId>> page_chips;
+    for (int i = 0; i < 40000; ++i) {
+        const ChipId chip = i % 4;
+        const auto acc = gen.next(chip, 0, i % 4);
+        if (gen.classify(acc.lineAddr) == SharingClass::FalseShared)
+            page_chips[acc.lineAddr / cfg.pageBytes].insert(chip);
+    }
+    int shared_pages = 0;
+    for (const auto &[page, chips] : page_chips)
+        shared_pages += chips.size() >= 2 ? 1 : 0;
+    // The hot pages get touched by everyone.
+    EXPECT_GT(shared_pages, static_cast<int>(page_chips.size()) / 2);
+}
+
+TEST(TraceGen, PrivateLinesAreChipDisjoint)
+{
+    auto cfg = smallConfig();
+    SharingTraceGen gen(smallProfile(), cfg, 5);
+    std::map<Addr, int> owner;
+    for (int i = 0; i < 40000; ++i) {
+        const ChipId chip = i % 4;
+        const auto acc = gen.next(chip, 0, i % 4);
+        if (gen.classify(acc.lineAddr) != SharingClass::Private)
+            continue;
+        auto [it, inserted] = owner.emplace(acc.lineAddr, chip);
+        if (!inserted) {
+            ASSERT_EQ(it->second, chip);
+        }
+    }
+}
+
+TEST(TraceGen, TrueSharedLinesAreActuallyShared)
+{
+    auto cfg = smallConfig();
+    SharingTraceGen gen(smallProfile(), cfg, 7);
+    std::map<Addr, std::set<ChipId>> chips_per_line;
+    for (int i = 0; i < 80000; ++i) {
+        const ChipId chip = i % 4;
+        const auto acc = gen.next(chip, 0, i % 4);
+        if (gen.classify(acc.lineAddr) == SharingClass::TrueShared)
+            chips_per_line[acc.lineAddr].insert(chip);
+    }
+    int multi = 0;
+    for (const auto &[line, chips] : chips_per_line)
+        multi += chips.size() >= 2 ? 1 : 0;
+    // Hot truly shared lines get touched by several chips.
+    EXPECT_GT(multi, static_cast<int>(chips_per_line.size()) / 3);
+}
+
+TEST(TraceGen, HotSetConcentratesAccesses)
+{
+    auto cfg = smallConfig();
+    auto p = smallProfile();
+    p.phases[0].trueFrac = 1.0;
+    p.phases[0].falseFrac = 0.0;
+    p.phases[0].trueHotMB = 0.25; // of 2 MB region
+    p.phases[0].trueHotFrac = 0.9;
+    SharingTraceGen gen(p, cfg, 1);
+    const std::uint64_t hot_bytes = 256 * 1024;
+    int hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto acc = gen.next(i % 4, 0, i % 4);
+        hot += acc.lineAddr < hot_bytes ? 1 : 0;
+    }
+    EXPECT_NEAR(hot / double(n), 0.9, 0.03);
+}
+
+TEST(TraceGen, RereadRepeatsRecentLines)
+{
+    auto cfg = smallConfig();
+    auto p = smallProfile();
+    p.phases[0].rereadFrac = 0.5;
+    SharingTraceGen gen(p, cfg, 1);
+    std::set<Addr> recent;
+    int rereads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto acc = gen.next(0, 0, 0);
+        if (recent.contains(acc.lineAddr))
+            ++rereads;
+        recent.insert(acc.lineAddr);
+    }
+    EXPECT_GT(rereads, n * 4 / 10);
+}
+
+TEST(TraceGen, DeterministicAcrossInstances)
+{
+    auto cfg = smallConfig();
+    SharingTraceGen a(smallProfile(), cfg, 42);
+    SharingTraceGen b(smallProfile(), cfg, 42);
+    for (int i = 0; i < 2000; ++i) {
+        const auto x = a.next(1, 2, 3);
+        const auto y = b.next(1, 2, 3);
+        EXPECT_EQ(x.lineAddr, y.lineAddr);
+        EXPECT_EQ(x.type, y.type);
+        EXPECT_EQ(x.gap, y.gap);
+    }
+}
+
+TEST(TraceGen, PhasesChangeBehaviour)
+{
+    auto cfg = smallConfig();
+    auto p = smallProfile();
+    KernelPhase second = p.phases[0];
+    second.trueFrac = 0.0;
+    second.falseFrac = 0.0;
+    p.phases.push_back(second);
+    SharingTraceGen gen(p, cfg, 1);
+    gen.beginKernel(1);
+    for (int i = 0; i < 5000; ++i) {
+        const auto acc = gen.next(i % 4, 0, i % 4);
+        EXPECT_EQ(gen.classify(acc.lineAddr), SharingClass::Private);
+    }
+}
+
+TEST(TraceGen, SectoredConfigEmitsSectors)
+{
+    auto cfg = smallConfig();
+    cfg.sectorsPerLine = 4;
+    SharingTraceGen gen(smallProfile(), cfg, 1);
+    std::set<unsigned> sectors;
+    for (int i = 0; i < 1000; ++i)
+        sectors.insert(gen.next(0, 0, 0).sector);
+    EXPECT_EQ(sectors.size(), 4u);
+}
+
+TEST(TraceGen, ZeroSharedRegionsRedistribute)
+{
+    auto cfg = smallConfig();
+    auto p = smallProfile();
+    p.trueSharedMB = 0;
+    p.falseSharedMB = 0;
+    SharingTraceGen gen(p, cfg, 1);
+    for (int i = 0; i < 5000; ++i) {
+        const auto acc = gen.next(i % 4, 0, 0);
+        EXPECT_EQ(gen.classify(acc.lineAddr), SharingClass::Private);
+    }
+}
+
+} // namespace
+} // namespace sac

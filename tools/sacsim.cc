@@ -1,0 +1,258 @@
+/**
+ * @file
+ * sacsim — command-line driver for the SAC multi-chip GPU simulator.
+ *
+ * Runs one (workload, organization, configuration) experiment and
+ * prints the result; the Swiss-army knife for exploring the design
+ * space without writing C++.
+ *
+ *   sacsim --list
+ *   sacsim --benchmark CFD --org sac
+ *   sacsim --benchmark GEMM --org all --scale 4 --input-scale 0.125
+ *   sacsim --benchmark RN --org sm --coherence hw --sectors 4 --stats
+ *   sacsim --benchmark SN --org sac --record sn.trace
+ *   sacsim --trace sn.trace --org mem --apw 256
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "workload/suite.hh"
+#include "workload/trace_file.hh"
+#include "workload/tracegen.hh"
+
+namespace {
+
+using namespace sac;
+
+struct Options
+{
+    std::string benchmark = "CFD";
+    std::string org = "all";
+    int scale = 4;
+    std::uint64_t seed = 1;
+    double inputScale = 1.0;
+    std::string coherence = "sw";
+    unsigned sectors = 1;
+    double interChipBw = 0.0; // 0 = config default
+    bool stats = false;
+    bool list = false;
+    std::string recordPath;
+    std::string tracePath;
+    std::uint64_t apw = 0; // 0 = profile default
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: sacsim [options]\n"
+        "  --list                 print the Table 4 benchmark suite\n"
+        "  --benchmark NAME       workload to run (default CFD)\n"
+        "  --org KIND             mem|sm|static|dynamic|sac|all "
+        "(default all)\n"
+        "  --scale N              topology divisor: 1=paper machine "
+        "(default 4)\n"
+        "  --seed N               experiment seed (default 1)\n"
+        "  --input-scale F        multiply the data set (Fig. 13 axis)\n"
+        "  --coherence sw|hw      LLC coherence (default sw)\n"
+        "  --sectors N            sectors per line: 1|2|4 (default 1)\n"
+        "  --interchip-bw GBPS    per-chip inter-chip bandwidth "
+        "override\n"
+        "  --apw N                accesses per warp per kernel "
+        "override\n"
+        "  --record FILE          record the generated trace to FILE\n"
+        "  --trace FILE           replay FILE instead of a synthetic "
+        "workload\n"
+        "  --stats                dump the full per-chip stats tree\n";
+    std::exit(code);
+}
+
+OrgKind
+parseOrg(const std::string &name)
+{
+    if (name == "mem")
+        return OrgKind::MemorySide;
+    if (name == "sm")
+        return OrgKind::SmSide;
+    if (name == "static")
+        return OrgKind::StaticLlc;
+    if (name == "dynamic")
+        return OrgKind::DynamicLlc;
+    if (name == "sac")
+        return OrgKind::Sac;
+    fatal("unknown organization '", name, "'");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--list")
+            o.list = true;
+        else if (arg == "--benchmark")
+            o.benchmark = value();
+        else if (arg == "--org")
+            o.org = value();
+        else if (arg == "--scale")
+            o.scale = std::stoi(value());
+        else if (arg == "--seed")
+            o.seed = std::stoull(value());
+        else if (arg == "--input-scale")
+            o.inputScale = std::stod(value());
+        else if (arg == "--coherence")
+            o.coherence = value();
+        else if (arg == "--sectors")
+            o.sectors = static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--interchip-bw")
+            o.interChipBw = std::stod(value());
+        else if (arg == "--apw")
+            o.apw = std::stoull(value());
+        else if (arg == "--record")
+            o.recordPath = value();
+        else if (arg == "--trace")
+            o.tracePath = value();
+        else if (arg == "--stats")
+            o.stats = true;
+        else
+            fatal("unknown option '", arg, "' (try --help)");
+    }
+    return o;
+}
+
+void
+listSuite()
+{
+    report::Table t({"name", "group", "CTAs", "footprint MB",
+                     "true-shared MB", "false-shared MB", "kernels"});
+    for (const auto &p : benchmarkSuite()) {
+        t.addRow({p.name, p.smSidePreferred ? "SP" : "MP",
+                  std::to_string(p.ctas), report::num(p.footprintMB, 0),
+                  report::num(p.trueSharedMB, 0),
+                  report::num(p.falseSharedMB, 0),
+                  std::to_string(p.numKernels)});
+    }
+    t.print(std::cout);
+}
+
+RunResult
+runOne(const Options &o, const GpuConfig &cfg,
+       const WorkloadProfile &profile, OrgKind kind, bool dump_stats)
+{
+    std::unique_ptr<TraceSource> source;
+    std::unique_ptr<std::ofstream> record;
+    std::unique_ptr<SharingTraceGen> gen;
+
+    if (!o.tracePath.empty()) {
+        source = std::make_unique<TraceFileSource>(
+            TraceFileSource::fromFile(o.tracePath));
+    } else {
+        gen = std::make_unique<SharingTraceGen>(
+            profile.scaledData(Runner::dataScale(cfg)), cfg, o.seed);
+        if (!o.recordPath.empty()) {
+            record = std::make_unique<std::ofstream>(o.recordPath);
+            if (!*record)
+                fatal("cannot open '", o.recordPath, "' for writing");
+            source = std::make_unique<TraceRecorder>(*gen, *record);
+        }
+    }
+    TraceSource &trace = source ? *source : *gen;
+
+    System system(cfg, kind, trace);
+    const auto result =
+        system.run(Runner::kernelsFor(profile.scaledData(
+            Runner::dataScale(cfg))));
+    if (dump_stats)
+        system.dumpStats(std::cout);
+    return result;
+}
+
+int
+run(const Options &o)
+{
+    if (o.list) {
+        listSuite();
+        return 0;
+    }
+
+    GpuConfig cfg = GpuConfig::scaled(o.scale);
+    cfg.seed = o.seed;
+    cfg.coherence =
+        o.coherence == "hw" ? CoherenceKind::Hardware
+                            : CoherenceKind::Software;
+    cfg.sectorsPerLine = o.sectors;
+    if (o.interChipBw > 0.0)
+        cfg.interChipBw = o.interChipBw;
+    cfg.validate();
+
+    WorkloadProfile profile = findBenchmark(o.benchmark);
+    profile = profile.withInputScale(o.inputScale);
+    if (o.apw > 0) {
+        for (auto &phase : profile.phases)
+            phase.accessesPerWarp = o.apw;
+    }
+
+    std::cout << "workload " << profile.name << " (x" << o.inputScale
+              << ") on " << cfg.summary() << "\n\n";
+
+    std::vector<OrgKind> kinds;
+    if (o.org == "all") {
+        kinds = {OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
+                 OrgKind::DynamicLlc, OrgKind::Sac};
+    } else {
+        kinds = {parseOrg(o.org)};
+    }
+
+    std::optional<RunResult> baseline;
+    report::Table t({"organization", "cycles", "speedup", "LLC miss",
+                     "eff LLC BW", "remote frac", "avg load lat"});
+    for (const auto kind : kinds) {
+        const bool dump = o.stats && kinds.size() == 1;
+        const auto r = runOne(o, cfg, profile, kind, dump);
+        if (!baseline)
+            baseline = r;
+        t.addRow({toString(kind), std::to_string(r.cycles),
+                  report::times(speedup(*baseline, r)),
+                  report::percent(r.llcMissRate()),
+                  report::num(r.effLlcBw),
+                  report::percent(r.llcRemoteFraction),
+                  report::num(r.avgLoadLatency, 0)});
+        if (kind == OrgKind::Sac) {
+            for (const auto &d : r.sacDecisions) {
+                std::cout << "SAC kernel " << d.kernel << " -> "
+                          << toString(d.chosen) << "\n";
+            }
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parse(argc, argv));
+    } catch (const std::exception &e) {
+        std::cerr << "sacsim: " << e.what() << "\n";
+        return 1;
+    }
+}
