@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_data_placement.dir/fig09_data_placement.cc.o"
+  "CMakeFiles/fig09_data_placement.dir/fig09_data_placement.cc.o.d"
+  "fig09_data_placement"
+  "fig09_data_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_data_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_working_set.dir/fig11_working_set.cc.o"
+  "CMakeFiles/fig11_working_set.dir/fig11_working_set.cc.o.d"
+  "fig11_working_set"
+  "fig11_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

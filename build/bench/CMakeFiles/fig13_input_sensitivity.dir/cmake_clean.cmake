@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_input_sensitivity.dir/fig13_input_sensitivity.cc.o"
+  "CMakeFiles/fig13_input_sensitivity.dir/fig13_input_sensitivity.cc.o.d"
+  "fig13_input_sensitivity"
+  "fig13_input_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_input_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_workloads.dir/table04_workloads.cc.o"
+  "CMakeFiles/table04_workloads.dir/table04_workloads.cc.o.d"
+  "table04_workloads"
+  "table04_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

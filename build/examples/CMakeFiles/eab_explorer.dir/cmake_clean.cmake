@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eab_explorer.dir/eab_explorer.cpp.o"
+  "CMakeFiles/eab_explorer.dir/eab_explorer.cpp.o.d"
+  "eab_explorer"
+  "eab_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eab_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llc_organization_study.dir/llc_organization_study.cpp.o"
+  "CMakeFiles/llc_organization_study.dir/llc_organization_study.cpp.o.d"
+  "llc_organization_study"
+  "llc_organization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llc_organization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/sac.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/sac.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/sac.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/sac.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/sac.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/sac.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/sac.dir/common/config.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/sac.dir/common/log.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sac.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/sac.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/sac.dir/common/stats.cc.o.d"
+  "/root/repo/src/gpu/cta_scheduler.cc" "src/CMakeFiles/sac.dir/gpu/cta_scheduler.cc.o" "gcc" "src/CMakeFiles/sac.dir/gpu/cta_scheduler.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/CMakeFiles/sac.dir/gpu/kernel.cc.o" "gcc" "src/CMakeFiles/sac.dir/gpu/kernel.cc.o.d"
+  "/root/repo/src/gpu/sm_cluster.cc" "src/CMakeFiles/sac.dir/gpu/sm_cluster.cc.o" "gcc" "src/CMakeFiles/sac.dir/gpu/sm_cluster.cc.o.d"
+  "/root/repo/src/gpu/warp.cc" "src/CMakeFiles/sac.dir/gpu/warp.cc.o" "gcc" "src/CMakeFiles/sac.dir/gpu/warp.cc.o.d"
+  "/root/repo/src/llc/coherence.cc" "src/CMakeFiles/sac.dir/llc/coherence.cc.o" "gcc" "src/CMakeFiles/sac.dir/llc/coherence.cc.o.d"
+  "/root/repo/src/llc/dynamic_partition.cc" "src/CMakeFiles/sac.dir/llc/dynamic_partition.cc.o" "gcc" "src/CMakeFiles/sac.dir/llc/dynamic_partition.cc.o.d"
+  "/root/repo/src/llc/llc_slice.cc" "src/CMakeFiles/sac.dir/llc/llc_slice.cc.o" "gcc" "src/CMakeFiles/sac.dir/llc/llc_slice.cc.o.d"
+  "/root/repo/src/llc/organization.cc" "src/CMakeFiles/sac.dir/llc/organization.cc.o" "gcc" "src/CMakeFiles/sac.dir/llc/organization.cc.o.d"
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/sac.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/sac.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/sac.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/sac.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/mem_ctrl.cc" "src/CMakeFiles/sac.dir/mem/mem_ctrl.cc.o" "gcc" "src/CMakeFiles/sac.dir/mem/mem_ctrl.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/sac.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/sac.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/noc/interchip.cc" "src/CMakeFiles/sac.dir/noc/interchip.cc.o" "gcc" "src/CMakeFiles/sac.dir/noc/interchip.cc.o.d"
+  "/root/repo/src/noc/queue.cc" "src/CMakeFiles/sac.dir/noc/queue.cc.o" "gcc" "src/CMakeFiles/sac.dir/noc/queue.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/CMakeFiles/sac.dir/noc/routing.cc.o" "gcc" "src/CMakeFiles/sac.dir/noc/routing.cc.o.d"
+  "/root/repo/src/noc/xbar.cc" "src/CMakeFiles/sac.dir/noc/xbar.cc.o" "gcc" "src/CMakeFiles/sac.dir/noc/xbar.cc.o.d"
+  "/root/repo/src/sac/controller.cc" "src/CMakeFiles/sac.dir/sac/controller.cc.o" "gcc" "src/CMakeFiles/sac.dir/sac/controller.cc.o.d"
+  "/root/repo/src/sac/crd.cc" "src/CMakeFiles/sac.dir/sac/crd.cc.o" "gcc" "src/CMakeFiles/sac.dir/sac/crd.cc.o.d"
+  "/root/repo/src/sac/eab.cc" "src/CMakeFiles/sac.dir/sac/eab.cc.o" "gcc" "src/CMakeFiles/sac.dir/sac/eab.cc.o.d"
+  "/root/repo/src/sac/profiler.cc" "src/CMakeFiles/sac.dir/sac/profiler.cc.o" "gcc" "src/CMakeFiles/sac.dir/sac/profiler.cc.o.d"
+  "/root/repo/src/sim/chip.cc" "src/CMakeFiles/sac.dir/sim/chip.cc.o" "gcc" "src/CMakeFiles/sac.dir/sim/chip.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/sac.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/sac.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/sac.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/sac.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/sac.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/sac.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/wss.cc" "src/CMakeFiles/sac.dir/sim/wss.cc.o" "gcc" "src/CMakeFiles/sac.dir/sim/wss.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/sac.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/sac.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/CMakeFiles/sac.dir/workload/suite.cc.o" "gcc" "src/CMakeFiles/sac.dir/workload/suite.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/sac.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/sac.dir/workload/trace_file.cc.o.d"
+  "/root/repo/src/workload/tracegen.cc" "src/CMakeFiles/sac.dir/workload/tracegen.cc.o" "gcc" "src/CMakeFiles/sac.dir/workload/tracegen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

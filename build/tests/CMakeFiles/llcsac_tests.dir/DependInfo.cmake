@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/llc/coherence_test.cc" "tests/CMakeFiles/llcsac_tests.dir/llc/coherence_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/llc/coherence_test.cc.o.d"
+  "/root/repo/tests/llc/dynamic_test.cc" "tests/CMakeFiles/llcsac_tests.dir/llc/dynamic_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/llc/dynamic_test.cc.o.d"
+  "/root/repo/tests/llc/org_behavior_test.cc" "tests/CMakeFiles/llcsac_tests.dir/llc/org_behavior_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/llc/org_behavior_test.cc.o.d"
+  "/root/repo/tests/llc/organization_test.cc" "tests/CMakeFiles/llcsac_tests.dir/llc/organization_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/llc/organization_test.cc.o.d"
+  "/root/repo/tests/llc/slice_sectored_test.cc" "tests/CMakeFiles/llcsac_tests.dir/llc/slice_sectored_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/llc/slice_sectored_test.cc.o.d"
+  "/root/repo/tests/llc/slice_test.cc" "tests/CMakeFiles/llcsac_tests.dir/llc/slice_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/llc/slice_test.cc.o.d"
+  "/root/repo/tests/sac/controller_test.cc" "tests/CMakeFiles/llcsac_tests.dir/sac/controller_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/sac/controller_test.cc.o.d"
+  "/root/repo/tests/sac/crd_test.cc" "tests/CMakeFiles/llcsac_tests.dir/sac/crd_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/sac/crd_test.cc.o.d"
+  "/root/repo/tests/sac/eab_test.cc" "tests/CMakeFiles/llcsac_tests.dir/sac/eab_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/sac/eab_test.cc.o.d"
+  "/root/repo/tests/sac/profiler_test.cc" "tests/CMakeFiles/llcsac_tests.dir/sac/profiler_test.cc.o" "gcc" "tests/CMakeFiles/llcsac_tests.dir/sac/profiler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llcsac_tests.dir/llc/coherence_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/llc/coherence_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/llc/dynamic_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/llc/dynamic_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/llc/org_behavior_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/llc/org_behavior_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/llc/organization_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/llc/organization_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/llc/slice_sectored_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/llc/slice_sectored_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/llc/slice_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/llc/slice_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/sac/controller_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/sac/controller_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/sac/crd_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/sac/crd_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/sac/eab_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/sac/eab_test.cc.o.d"
+  "CMakeFiles/llcsac_tests.dir/sac/profiler_test.cc.o"
+  "CMakeFiles/llcsac_tests.dir/sac/profiler_test.cc.o.d"
+  "llcsac_tests"
+  "llcsac_tests.pdb"
+  "llcsac_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llcsac_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

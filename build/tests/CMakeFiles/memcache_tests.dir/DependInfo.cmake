@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/cache_test.cc" "tests/CMakeFiles/memcache_tests.dir/cache/cache_test.cc.o" "gcc" "tests/CMakeFiles/memcache_tests.dir/cache/cache_test.cc.o.d"
+  "/root/repo/tests/cache/mshr_test.cc" "tests/CMakeFiles/memcache_tests.dir/cache/mshr_test.cc.o" "gcc" "tests/CMakeFiles/memcache_tests.dir/cache/mshr_test.cc.o.d"
+  "/root/repo/tests/cache/replacement_test.cc" "tests/CMakeFiles/memcache_tests.dir/cache/replacement_test.cc.o" "gcc" "tests/CMakeFiles/memcache_tests.dir/cache/replacement_test.cc.o.d"
+  "/root/repo/tests/mem/address_map_test.cc" "tests/CMakeFiles/memcache_tests.dir/mem/address_map_test.cc.o" "gcc" "tests/CMakeFiles/memcache_tests.dir/mem/address_map_test.cc.o.d"
+  "/root/repo/tests/mem/dram_test.cc" "tests/CMakeFiles/memcache_tests.dir/mem/dram_test.cc.o" "gcc" "tests/CMakeFiles/memcache_tests.dir/mem/dram_test.cc.o.d"
+  "/root/repo/tests/mem/mem_ctrl_test.cc" "tests/CMakeFiles/memcache_tests.dir/mem/mem_ctrl_test.cc.o" "gcc" "tests/CMakeFiles/memcache_tests.dir/mem/mem_ctrl_test.cc.o.d"
+  "/root/repo/tests/mem/page_table_test.cc" "tests/CMakeFiles/memcache_tests.dir/mem/page_table_test.cc.o" "gcc" "tests/CMakeFiles/memcache_tests.dir/mem/page_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcache_tests.dir/cache/cache_test.cc.o"
+  "CMakeFiles/memcache_tests.dir/cache/cache_test.cc.o.d"
+  "CMakeFiles/memcache_tests.dir/cache/mshr_test.cc.o"
+  "CMakeFiles/memcache_tests.dir/cache/mshr_test.cc.o.d"
+  "CMakeFiles/memcache_tests.dir/cache/replacement_test.cc.o"
+  "CMakeFiles/memcache_tests.dir/cache/replacement_test.cc.o.d"
+  "CMakeFiles/memcache_tests.dir/mem/address_map_test.cc.o"
+  "CMakeFiles/memcache_tests.dir/mem/address_map_test.cc.o.d"
+  "CMakeFiles/memcache_tests.dir/mem/dram_test.cc.o"
+  "CMakeFiles/memcache_tests.dir/mem/dram_test.cc.o.d"
+  "CMakeFiles/memcache_tests.dir/mem/mem_ctrl_test.cc.o"
+  "CMakeFiles/memcache_tests.dir/mem/mem_ctrl_test.cc.o.d"
+  "CMakeFiles/memcache_tests.dir/mem/page_table_test.cc.o"
+  "CMakeFiles/memcache_tests.dir/mem/page_table_test.cc.o.d"
+  "memcache_tests"
+  "memcache_tests.pdb"
+  "memcache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

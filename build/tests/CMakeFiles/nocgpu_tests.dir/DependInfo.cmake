@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/cluster_test.cc" "tests/CMakeFiles/nocgpu_tests.dir/gpu/cluster_test.cc.o" "gcc" "tests/CMakeFiles/nocgpu_tests.dir/gpu/cluster_test.cc.o.d"
+  "/root/repo/tests/gpu/cta_test.cc" "tests/CMakeFiles/nocgpu_tests.dir/gpu/cta_test.cc.o" "gcc" "tests/CMakeFiles/nocgpu_tests.dir/gpu/cta_test.cc.o.d"
+  "/root/repo/tests/gpu/warp_test.cc" "tests/CMakeFiles/nocgpu_tests.dir/gpu/warp_test.cc.o" "gcc" "tests/CMakeFiles/nocgpu_tests.dir/gpu/warp_test.cc.o.d"
+  "/root/repo/tests/noc/interchip_test.cc" "tests/CMakeFiles/nocgpu_tests.dir/noc/interchip_test.cc.o" "gcc" "tests/CMakeFiles/nocgpu_tests.dir/noc/interchip_test.cc.o.d"
+  "/root/repo/tests/noc/queue_test.cc" "tests/CMakeFiles/nocgpu_tests.dir/noc/queue_test.cc.o" "gcc" "tests/CMakeFiles/nocgpu_tests.dir/noc/queue_test.cc.o.d"
+  "/root/repo/tests/noc/routing_test.cc" "tests/CMakeFiles/nocgpu_tests.dir/noc/routing_test.cc.o" "gcc" "tests/CMakeFiles/nocgpu_tests.dir/noc/routing_test.cc.o.d"
+  "/root/repo/tests/noc/xbar_test.cc" "tests/CMakeFiles/nocgpu_tests.dir/noc/xbar_test.cc.o" "gcc" "tests/CMakeFiles/nocgpu_tests.dir/noc/xbar_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocgpu_tests.dir/gpu/cluster_test.cc.o"
+  "CMakeFiles/nocgpu_tests.dir/gpu/cluster_test.cc.o.d"
+  "CMakeFiles/nocgpu_tests.dir/gpu/cta_test.cc.o"
+  "CMakeFiles/nocgpu_tests.dir/gpu/cta_test.cc.o.d"
+  "CMakeFiles/nocgpu_tests.dir/gpu/warp_test.cc.o"
+  "CMakeFiles/nocgpu_tests.dir/gpu/warp_test.cc.o.d"
+  "CMakeFiles/nocgpu_tests.dir/noc/interchip_test.cc.o"
+  "CMakeFiles/nocgpu_tests.dir/noc/interchip_test.cc.o.d"
+  "CMakeFiles/nocgpu_tests.dir/noc/queue_test.cc.o"
+  "CMakeFiles/nocgpu_tests.dir/noc/queue_test.cc.o.d"
+  "CMakeFiles/nocgpu_tests.dir/noc/routing_test.cc.o"
+  "CMakeFiles/nocgpu_tests.dir/noc/routing_test.cc.o.d"
+  "CMakeFiles/nocgpu_tests.dir/noc/xbar_test.cc.o"
+  "CMakeFiles/nocgpu_tests.dir/noc/xbar_test.cc.o.d"
+  "nocgpu_tests"
+  "nocgpu_tests.pdb"
+  "nocgpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocgpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/chip_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/chip_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/chip_test.cc.o.d"
+  "/root/repo/tests/sim/latency_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/latency_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/latency_test.cc.o.d"
+  "/root/repo/tests/sim/runner_report_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/runner_report_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/runner_report_test.cc.o.d"
+  "/root/repo/tests/sim/system_features_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/system_features_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/system_features_test.cc.o.d"
+  "/root/repo/tests/sim/system_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/system_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/system_test.cc.o.d"
+  "/root/repo/tests/sim/trace_replay_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/trace_replay_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_replay_test.cc.o.d"
+  "/root/repo/tests/sim/wss_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/wss_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/wss_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/chip_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/chip_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/latency_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/latency_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/runner_report_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/runner_report_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/system_features_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/system_features_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/system_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/system_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/trace_replay_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/trace_replay_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/wss_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/wss_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
