@@ -27,22 +27,35 @@ crdGeometryAblation()
                    "prediction (paper: 8x16)");
     report::Table t({"benchmark", "CRD sets x ways", "predicted hitSm",
                      "measured SM-side hit", "decision"});
-    for (const char *name : {"RN", "GEMM"}) {
-        const auto profile = findBenchmark(name);
-        // Ground truth from a pure SM-side run.
-        const auto cfg0 = bench::defaultConfig();
-        std::cerr << "[crd-ablation] " << name << " ground truth...\n";
-        const auto sm = Runner::run(profile, cfg0, OrgKind::SmSide, 1);
-        for (const int sets : {2, 8, 32}) {
+    const std::vector<const char *> names = {"RN", "GEMM"};
+    const std::vector<int> geometries = {2, 8, 32};
+
+    // One plan per benchmark: the SM-side ground truth plus one SAC
+    // run per CRD geometry (jobs differ in config, not workload).
+    ExperimentPlan plan;
+    for (const char *name : names) {
+        const auto &profile = findBenchmark(name);
+        plan.add(profile, bench::defaultConfig(), OrgKind::SmSide, 1,
+                 std::string(name) + "/ground-truth");
+        for (const int sets : geometries) {
             auto cfg = bench::defaultConfig();
             cfg.sac.crdSets = sets;
-            std::cerr << "[crd-ablation] " << name << " sets=" << sets
-                      << "...\n";
-            const auto sac = Runner::run(profile, cfg, OrgKind::Sac, 1);
+            plan.add(profile, cfg, OrgKind::Sac, 1,
+                     std::string(name) + "/crd-" + std::to_string(sets));
+        }
+    }
+    const auto records = bench::benchRunner().run(plan);
+
+    const std::size_t stride = 1 + geometries.size();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const auto &sm = records[n * stride].result;
+        for (std::size_t g = 0; g < geometries.size(); ++g) {
+            const auto &job = plan[n * stride + 1 + g];
+            const auto &sac = records[n * stride + 1 + g].result;
             const auto &d = sac.sacDecisions.front();
-            t.addRow({name,
-                      std::to_string(sets) + "x" +
-                          std::to_string(cfg.sac.crdWays),
+            t.addRow({names[n],
+                      std::to_string(geometries[g]) + "x" +
+                          std::to_string(job.config.sac.crdWays),
                       report::percent(d.inputs.hitSm),
                       report::percent(sm.llcHitRate()),
                       toString(d.chosen)});
@@ -61,21 +74,25 @@ dynamicEpochAblation()
                    "Ablation: Dynamic-LLC repartitioning epoch "
                    "(default 10K cycles)");
     report::Table t({"epoch (cycles)", "RN speedup", "GEMM speedup"});
-    for (const Cycle epoch : {2000ull, 10000ull, 50000ull}) {
+    const std::vector<Cycle> epochs = {2000, 10000, 50000};
+    const std::vector<OrgKind> orgs = {OrgKind::MemorySide,
+                                       OrgKind::DynamicLlc};
+
+    ExperimentPlan plan;
+    for (const Cycle epoch : epochs) {
         auto cfg = bench::defaultConfig();
         cfg.dynamicLlc.epoch = epoch;
-        std::cerr << "[epoch-ablation] " << epoch << "...\n";
-        const auto rn_mem =
-            Runner::run(findBenchmark("RN"), cfg, OrgKind::MemorySide, 1);
-        const auto rn_dyn =
-            Runner::run(findBenchmark("RN"), cfg, OrgKind::DynamicLlc, 1);
-        const auto gm_mem = Runner::run(findBenchmark("GEMM"), cfg,
-                                        OrgKind::MemorySide, 1);
-        const auto gm_dyn = Runner::run(findBenchmark("GEMM"), cfg,
-                                        OrgKind::DynamicLlc, 1);
-        t.addRow({std::to_string(epoch),
-                  report::times(speedup(rn_mem, rn_dyn)),
-                  report::times(speedup(gm_mem, gm_dyn))});
+        for (const char *name : {"RN", "GEMM"})
+            plan.addOrgSweep(findBenchmark(name), cfg, orgs, 1);
+    }
+    const auto records = bench::benchRunner().run(plan);
+
+    // Per epoch: [RN/mem, RN/dyn, GEMM/mem, GEMM/dyn].
+    for (std::size_t e = 0; e < epochs.size(); ++e) {
+        const auto *r = &records[e * 4];
+        t.addRow({std::to_string(epochs[e]),
+                  report::times(speedup(r[0].result, r[1].result)),
+                  report::times(speedup(r[2].result, r[3].result))});
     }
     t.print(std::cout);
 }

@@ -1,14 +1,41 @@
 #include "bench/common.hh"
 
+#include <cstdlib>
+
+#include "sim/report.hh"
+
 namespace sac::bench {
+
+unsigned
+benchJobs()
+{
+    if (const char *env = std::getenv("SAC_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    return 0; // engine picks hardware_concurrency()
+}
+
+Runner
+benchRunner()
+{
+    Runner::Options opts;
+    opts.jobs = benchJobs();
+    opts.progress = [](const EngineProgress &p) {
+        std::cerr << "  [" << p.completed << "/" << p.total << "] "
+                  << p.job.label << "  ("
+                  << report::num(p.record.wallMs, 0) << " ms)\n";
+    };
+    return Runner(opts);
+}
 
 std::vector<BenchResults>
 runMatrix(const std::vector<WorkloadProfile> &profiles, const GpuConfig &cfg,
           double apw_scale, std::uint64_t seed,
           const std::vector<OrgKind> &orgs)
 {
-    std::vector<BenchResults> out;
-    out.reserve(profiles.size());
+    ExperimentPlan plan;
     for (const auto &profile : profiles) {
         WorkloadProfile p = profile;
         if (apw_scale != 1.0) {
@@ -19,15 +46,23 @@ runMatrix(const std::vector<WorkloadProfile> &profiles, const GpuConfig &cfg,
                             apw_scale));
             }
         }
-        BenchResults res;
-        res.profile = p;
-        for (const auto kind : orgs) {
-            std::cerr << "  [" << p.name << " / " << toString(kind)
-                      << "] ..." << std::flush;
-            res.byOrg.emplace(kind, Runner::run(p, cfg, kind, seed));
-            std::cerr << " done\n";
+        plan.addOrgSweep(p, cfg, orgs, seed);
+    }
+
+    const auto records = benchRunner().run(plan);
+
+    // Plan order is profiles × orgs, so record i belongs to profile
+    // i / orgs.size() — regroup into the per-benchmark shape.
+    std::vector<BenchResults> out;
+    out.reserve(profiles.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const std::size_t p = i / orgs.size();
+        if (i % orgs.size() == 0) {
+            BenchResults res;
+            res.profile = plan[i].profile;
+            out.push_back(std::move(res));
         }
-        out.push_back(std::move(res));
+        out[p].byOrg.emplace(plan[i].org, records[i].result);
     }
     return out;
 }

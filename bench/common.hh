@@ -7,6 +7,10 @@
  * couple of google-benchmark micro-measurements of the components the
  * figure exercises. Progress goes to stderr so stdout stays a clean
  * table.
+ *
+ * Sweeps execute through the parallel ExperimentEngine; set SAC_JOBS
+ * to pin the worker count (SAC_JOBS=1 forces serial execution — the
+ * results are bit-identical either way, only the wall time changes).
  */
 
 #ifndef SAC_BENCH_COMMON_HH
@@ -36,11 +40,17 @@ defaultConfig()
 inline const std::vector<OrgKind> &
 allOrgs()
 {
-    static const std::vector<OrgKind> orgs = {
-        OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
-        OrgKind::DynamicLlc, OrgKind::Sac};
-    return orgs;
+    return ExperimentPlan::allOrganizations();
 }
+
+/**
+ * Worker count for bench sweeps: $SAC_JOBS if set, otherwise every
+ * hardware thread.
+ */
+unsigned benchJobs();
+
+/** A Runner configured for benches: SAC_JOBS workers, stderr progress. */
+Runner benchRunner();
 
 /** One benchmark's results across organizations. */
 struct BenchResults
@@ -55,9 +65,9 @@ struct BenchResults
 };
 
 /**
- * Runs @p profiles under the given organizations (default: all five),
- * logging progress to stderr. @p apw_scale optionally shortens
- * kernels for sweeps.
+ * Runs @p profiles under the given organizations (default: all five)
+ * through the engine, logging progress to stderr. @p apw_scale
+ * optionally shortens kernels for sweeps.
  */
 std::vector<BenchResults> runMatrix(
     const std::vector<WorkloadProfile> &profiles, const GpuConfig &cfg,

@@ -24,7 +24,7 @@ void
 study()
 {
     const auto cfg = bench::defaultConfig();
-    const double up = Runner::dataScale(cfg);
+    const double up = dataScale(cfg);
     const double llc_mb =
         static_cast<double>(cfg.llcBytesTotal()) / (1024.0 * 1024.0) * up;
 
@@ -45,7 +45,7 @@ study()
     for (const auto &name :
          {"RN", "SN", "CFD", "BS", "GEMM", "SRAD", "STEN", "NN"}) {
         const auto profile =
-            findBenchmark(name).scaledData(Runner::dataScale(cfg));
+            findBenchmark(name).scaledData(dataScale(cfg));
         std::cerr << "  [" << name << "] replaying..." << std::flush;
         SharingTraceGen gen(profile, cfg, 1);
         WorkingSetAnalyzer wss(cfg, gen);
@@ -79,7 +79,7 @@ void
 BM_WorkingSetWindow(benchmark::State &state)
 {
     const auto cfg = bench::defaultConfig();
-    const auto p = findBenchmark("CFD").scaledData(Runner::dataScale(cfg));
+    const auto p = findBenchmark("CFD").scaledData(dataScale(cfg));
     SharingTraceGen gen(p, cfg, 1);
     WorkingSetAnalyzer wss(cfg, gen);
     for (auto _ : state)

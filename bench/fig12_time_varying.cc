@@ -22,9 +22,13 @@ study()
     const auto bfs = findBenchmark("BFS");
 
     std::cerr << "Fig.12: BFS under memory-side / SM-side / SAC...\n";
-    const auto mem = Runner::run(bfs, cfg, OrgKind::MemorySide, 1);
-    const auto sm = Runner::run(bfs, cfg, OrgKind::SmSide, 1);
-    const auto sac = Runner::run(bfs, cfg, OrgKind::Sac, 1);
+    ExperimentPlan plan;
+    plan.addOrgSweep(bfs, cfg,
+                     {OrgKind::MemorySide, OrgKind::SmSide, OrgKind::Sac});
+    const auto records = bench::benchRunner().run(plan);
+    const auto &mem = records[0].result;
+    const auto &sm = records[1].result;
+    const auto &sac = records[2].result;
 
     report::banner(std::cout,
                    "Figure 12: BFS per-kernel performance relative to "
@@ -73,12 +77,18 @@ windowAblation()
     report::Table t({"min requests", "K1 decision", "K2 decision",
                      "overall speedup vs mem-side"});
     const auto bfs = findBenchmark("BFS");
-    for (const std::uint64_t reqs : {10000ull, 40000ull, 120000ull}) {
+    const std::vector<std::uint64_t> windows = {10000, 40000, 120000};
+    ExperimentPlan plan;
+    for (const std::uint64_t reqs : windows) {
         auto cfg = bench::defaultConfig();
         cfg.sac.profileMinRequests = reqs;
-        const auto mem = Runner::run(bfs, cfg, OrgKind::MemorySide, 1);
-        const auto sac = Runner::run(bfs, cfg, OrgKind::Sac, 1);
-        t.addRow({std::to_string(reqs),
+        plan.addOrgSweep(bfs, cfg, {OrgKind::MemorySide, OrgKind::Sac});
+    }
+    const auto records = bench::benchRunner().run(plan);
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+        const auto &mem = records[w * 2].result;
+        const auto &sac = records[w * 2 + 1].result;
+        t.addRow({std::to_string(windows[w]),
                   sac.sacDecisions.size() > 0
                       ? toString(sac.sacDecisions[0].chosen)
                       : "?",

@@ -19,22 +19,39 @@ namespace {
 
 using namespace sac;
 
+std::string
+scaleLabel(double s)
+{
+    return s >= 1.0 ? "x" + report::num(s, 0)
+                    : "/" + report::num(1.0 / s, 0);
+}
+
 void
 sweep(const char *name, const std::vector<double> &scales)
 {
     const auto cfg = bench::defaultConfig();
     const auto base = findBenchmark(name);
+    const std::vector<OrgKind> orgs = {OrgKind::MemorySide,
+                                       OrgKind::SmSide, OrgKind::Sac};
+
+    // The whole (scale × organization) grid as one parallel plan.
+    ExperimentPlan plan;
+    for (const double s : scales) {
+        for (const auto org : orgs) {
+            plan.add(base.withInputScale(s), cfg, org, 1,
+                     std::string(name) + " " + scaleLabel(s) + "/" +
+                         toString(org));
+        }
+    }
+    const auto records = bench::benchRunner().run(plan);
+
     report::Table t({"input scale", "SM-side speedup", "SAC speedup",
                      "SAC decision (k0)"});
-    for (const double s : scales) {
-        std::cerr << "  [" << name << " x" << s << "] ..." << std::flush;
-        const auto p = base.withInputScale(s);
-        const auto mem = Runner::run(p, cfg, OrgKind::MemorySide, 1);
-        const auto sm = Runner::run(p, cfg, OrgKind::SmSide, 1);
-        const auto sac = Runner::run(p, cfg, OrgKind::Sac, 1);
-        std::cerr << " done\n";
-        t.addRow({(s >= 1.0 ? "x" + report::num(s, 0)
-                            : "/" + report::num(1.0 / s, 0)),
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+        const auto &mem = records[i * orgs.size() + 0].result;
+        const auto &sm = records[i * orgs.size() + 1].result;
+        const auto &sac = records[i * orgs.size() + 2].result;
+        t.addRow({scaleLabel(scales[i]),
                   report::times(speedup(mem, sm)),
                   report::times(speedup(mem, sac)),
                   sac.sacDecisions.empty()

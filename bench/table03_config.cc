@@ -77,7 +77,7 @@ BM_SystemTick(benchmark::State &state)
 {
     GpuConfig cfg = bench::defaultConfig();
     WorkloadProfile p = findBenchmark("CFD");
-    const auto scaled = p.scaledData(Runner::dataScale(cfg));
+    const auto scaled = p.scaledData(dataScale(cfg));
     SharingTraceGen gen(scaled, cfg, 1);
     System sys(cfg, OrgKind::MemorySide, gen);
     for (ChipId c = 0; c < cfg.numChips; ++c)

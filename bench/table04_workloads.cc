@@ -31,7 +31,7 @@ Measured
 measure(const WorkloadProfile &profile, const GpuConfig &cfg,
         std::uint64_t accesses)
 {
-    const auto scaled = profile.scaledData(Runner::dataScale(cfg));
+    const auto scaled = profile.scaledData(dataScale(cfg));
     SharingTraceGen gen(scaled, cfg, 1);
 
     // line -> chips that touched it.
@@ -67,7 +67,7 @@ measure(const WorkloadProfile &profile, const GpuConfig &cfg,
         }
     }
     // Report back at full scale.
-    const double up = Runner::dataScale(cfg);
+    const double up = dataScale(cfg);
     m.footprintMB *= up;
     m.trueMB *= up;
     m.falseMB *= up;
@@ -108,7 +108,7 @@ BM_TraceGeneration(benchmark::State &state)
 {
     const auto cfg = bench::defaultConfig();
     const auto p =
-        findBenchmark("CFD").scaledData(Runner::dataScale(cfg));
+        findBenchmark("CFD").scaledData(dataScale(cfg));
     SharingTraceGen gen(p, cfg, 1);
     int w = 0;
     for (auto _ : state) {

@@ -33,14 +33,26 @@ main(int argc, char **argv)
                                            : "memory-side preferred")
                   << " at its default input)\n\n";
 
+        // The whole sweep is one declarative plan; the engine runs
+        // the 12 simulations on every available core.
+        const std::vector<double> factors = {4.0, 1.0, 0.25, 1.0 / 16.0};
+        ExperimentPlan plan;
+        for (const double f : factors) {
+            plan.addOrgSweep(base.withInputScale(f), cfg,
+                             {OrgKind::MemorySide, OrgKind::SmSide,
+                              OrgKind::Sac});
+        }
+        const auto records = Runner(0u).run(plan);
+
         report::Table t({"input", "shared set (MB)", "winner",
                          "SM-side speedup", "SAC speedup",
                          "SAC decision"});
-        for (const double f : {4.0, 1.0, 0.25, 1.0 / 16.0}) {
+        for (std::size_t i = 0; i < factors.size(); ++i) {
+            const double f = factors[i];
             const auto wl = base.withInputScale(f);
-            const auto mem = Runner::run(wl, cfg, OrgKind::MemorySide, 1);
-            const auto sm = Runner::run(wl, cfg, OrgKind::SmSide, 1);
-            const auto sac = Runner::run(wl, cfg, OrgKind::Sac, 1);
+            const auto &mem = records[i * 3 + 0].result;
+            const auto &sm = records[i * 3 + 1].result;
+            const auto &sac = records[i * 3 + 2].result;
             const double s = speedup(mem, sm);
             t.addRow({f >= 1.0 ? "x" + report::num(f, 0)
                                : "/" + report::num(1.0 / f, 0),

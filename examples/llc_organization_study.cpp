@@ -54,13 +54,16 @@ main(int argc, char **argv)
         std::cout << "Custom workload '" << wl.name << "' on "
                   << cfg.summary() << "\n\n";
 
-        const auto results = Runner::runAll(wl, cfg);
-        const auto &base = results.at(OrgKind::MemorySide);
+        // Ordered sweep through the session API: index 0 is the
+        // memory-side baseline, the last entry is SAC.
+        const auto results =
+            Runner(0u).runOrganizations(wl, cfg);
+        const auto &base = results.front();
 
         report::Table t({"organization", "speedup", "LLC miss",
                          "eff LLC BW", "ICN bytes", "avg load lat"});
-        for (const auto &[kind, r] : results) {
-            t.addRow({toString(kind), report::times(speedup(base, r)),
+        for (const auto &r : results) {
+            t.addRow({r.organization, report::times(speedup(base, r)),
                       report::percent(r.llcMissRate()),
                       report::num(r.effLlcBw),
                       std::to_string(r.icnBytes >> 20) + " MB",
@@ -69,14 +72,13 @@ main(int argc, char **argv)
         t.print(std::cout);
 
         // What did SAC's model think, and was it right?
-        const auto &sac_run = results.at(OrgKind::Sac);
+        const auto &sac_run = results.back();
         std::cout << "\nSAC's reasoning:\n";
         for (const auto &d : sac_run.sacDecisions) {
             std::cout << "  kernel " << d.kernel << ": " << d.eab.summary()
                       << "\n    -> chose " << toString(d.chosen) << "\n";
         }
-        const bool sm_better =
-            results.at(OrgKind::SmSide).cycles < base.cycles;
+        const bool sm_better = results[1].cycles < base.cycles;
         const bool sac_chose_sm =
             !sac_run.sacDecisions.empty() &&
             sac_run.sacDecisions[0].chosen == LlcMode::SmSide;

@@ -31,14 +31,17 @@ main(int argc, char **argv)
         std::cout << "SAC quickstart: " << name << " on "
                   << cfg.summary() << "\n";
 
-        const auto results = Runner::runAll(wl, cfg);
-        const RunResult &base = results.at(OrgKind::MemorySide);
+        // All five organizations, parallel workers, results in the
+        // canonical presentation order.
+        const auto results =
+            Runner(0u).runOrganizations(wl, cfg);
+        const RunResult &base = results.front(); // memory-side
 
         report::Table table({"organization", "cycles", "speedup",
                              "LLC miss", "eff LLC BW (resp/cy)",
                              "remote LLC frac"});
-        for (const auto &[kind, r] : results) {
-            table.addRow({toString(kind), std::to_string(r.cycles),
+        for (const auto &r : results) {
+            table.addRow({r.organization, std::to_string(r.cycles),
                           report::times(speedup(base, r)),
                           report::percent(r.llcMissRate()),
                           report::num(r.effLlcBw),
@@ -46,7 +49,7 @@ main(int argc, char **argv)
         }
         table.print(std::cout);
 
-        const auto &sac_result = results.at(OrgKind::Sac);
+        const auto &sac_result = results.back(); // SAC
         for (const auto &d : sac_result.sacDecisions) {
             std::cout << "SAC kernel " << d.kernel << ": chose "
                       << toString(d.chosen) << "  [" << d.eab.summary()

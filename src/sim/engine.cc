@@ -1,0 +1,229 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/log.hh"
+#include "workload/tracegen.hh"
+
+namespace sac {
+
+double
+dataScale(const GpuConfig &cfg)
+{
+    const double paper_llc = 16.0 * 1024.0 * 1024.0;
+    return paper_llc / static_cast<double>(cfg.llcBytesTotal());
+}
+
+std::vector<KernelDescriptor>
+kernelsFor(const WorkloadProfile &profile)
+{
+    std::vector<KernelDescriptor> kernels;
+    kernels.reserve(static_cast<std::size_t>(profile.numKernels));
+    for (int k = 0; k < profile.numKernels; ++k) {
+        KernelDescriptor d;
+        d.index = k;
+        d.name = profile.name + "-k" + std::to_string(k);
+        d.accessesPerWarp = profile.phase(k).accessesPerWarp;
+        kernels.push_back(d);
+    }
+    return kernels;
+}
+
+const std::vector<OrgKind> &
+ExperimentPlan::allOrganizations()
+{
+    static const std::vector<OrgKind> orgs = {
+        OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
+        OrgKind::DynamicLlc, OrgKind::Sac};
+    return orgs;
+}
+
+ExperimentPlan &
+ExperimentPlan::add(ExperimentJob job)
+{
+    if (job.label.empty())
+        job.label = job.profile.name + "/" + toString(job.org);
+    jobs_.push_back(std::move(job));
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::add(const WorkloadProfile &profile, const GpuConfig &cfg,
+                    OrgKind org, std::uint64_t seed, std::string label)
+{
+    ExperimentJob job;
+    job.profile = profile;
+    job.config = cfg;
+    job.org = org;
+    job.seed = seed;
+    job.label = std::move(label);
+    return add(std::move(job));
+}
+
+ExperimentPlan &
+ExperimentPlan::addOrgSweep(const WorkloadProfile &profile,
+                            const GpuConfig &cfg,
+                            const std::vector<OrgKind> &orgs,
+                            std::uint64_t seed)
+{
+    for (const auto org : orgs)
+        add(profile, cfg, org, seed);
+    return *this;
+}
+
+ExperimentEngine::ExperimentEngine(unsigned threads) : threads_(threads) {}
+
+RunRecord
+ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    GpuConfig cfg = job.config;
+    cfg.seed = job.seed;
+    cfg.validate();
+
+    const WorkloadProfile scaled = job.profile.scaledData(dataScale(cfg));
+    SharingTraceGen gen(scaled, cfg, job.seed);
+    System system(cfg, job.org, gen);
+
+    RunRecord rec;
+    rec.jobIndex = index;
+    rec.label = job.label;
+    rec.benchmark = job.profile.name;
+    rec.seed = job.seed;
+    rec.result = system.run(kernelsFor(scaled));
+    rec.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    return rec;
+}
+
+namespace {
+
+/** One worker's job queue; fixed-size array of these, never moved. */
+struct WorkerQueue
+{
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+};
+
+} // namespace
+
+std::vector<RunRecord>
+ExperimentEngine::run(const ExperimentPlan &plan) const
+{
+    const std::size_t n = plan.size();
+    std::vector<RunRecord> out(n);
+    if (n == 0)
+        return out;
+
+    unsigned workers =
+        threads_ ? threads_
+                 : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, n));
+
+    std::size_t completed = 0;
+    std::mutex progress_mutex;
+    const auto report = [&](std::size_t index) {
+        if (!progress_)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        EngineProgress p{++completed, n, plan[index], out[index]};
+        progress_(p);
+    };
+
+    if (workers == 1) {
+        // Inline serial path: no threads, same results by construction.
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = runJob(plan[i], i);
+            report(i);
+        }
+        return out;
+    }
+
+    // Deal jobs round-robin so every worker starts loaded.
+    std::vector<WorkerQueue> queues(workers);
+    for (std::size_t i = 0; i < n; ++i)
+        queues[i % workers].jobs.push_back(i);
+
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto pop_own = [&](unsigned w, std::size_t &job) {
+        std::lock_guard<std::mutex> lock(queues[w].mutex);
+        if (queues[w].jobs.empty())
+            return false;
+        job = queues[w].jobs.front();
+        queues[w].jobs.pop_front();
+        return true;
+    };
+
+    // Steal from the back of the most loaded victim.
+    const auto steal = [&](unsigned thief, std::size_t &job) {
+        unsigned victim = workers;
+        std::size_t best = 0;
+        for (unsigned v = 0; v < workers; ++v) {
+            if (v == thief)
+                continue;
+            std::lock_guard<std::mutex> lock(queues[v].mutex);
+            if (queues[v].jobs.size() > best) {
+                best = queues[v].jobs.size();
+                victim = v;
+            }
+        }
+        if (victim == workers)
+            return false;
+        std::lock_guard<std::mutex> lock(queues[victim].mutex);
+        if (queues[victim].jobs.empty())
+            return false; // raced with the victim; caller rescans
+        job = queues[victim].jobs.back();
+        queues[victim].jobs.pop_back();
+        return true;
+    };
+
+    const auto worker = [&](unsigned w) {
+        for (;;) {
+            std::size_t job;
+            if (!pop_own(w, job) && !steal(w, job)) {
+                // Both empty in one scan: with no job re-queueing
+                // there is nothing left to do for this worker.
+                bool any = false;
+                for (unsigned v = 0; v < workers && !any; ++v) {
+                    std::lock_guard<std::mutex> lock(queues[v].mutex);
+                    any = !queues[v].jobs.empty();
+                }
+                if (!any)
+                    return;
+                continue;
+            }
+            try {
+                out[job] = runJob(plan[job], job);
+                report(job);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker, w);
+    for (auto &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return out;
+}
+
+} // namespace sac

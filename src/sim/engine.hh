@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * An ExperimentPlan is a declarative list of independent simulation
+ * jobs — (workload, config, organization, seed) tuples with a display
+ * label. The ExperimentEngine executes a plan on a work-stealing
+ * thread pool and returns one RunRecord per job, in plan order,
+ * regardless of how many workers ran them or in which order they
+ * finished.
+ *
+ * Determinism: a job's measurements depend only on its own
+ * (profile, config, org, seed) tuple — every job constructs a private
+ * trace generator and System from its explicit seed, so results are
+ * bit-identical to serial execution and independent of the thread
+ * count. Only the wall-clock fields vary between runs.
+ */
+
+#ifndef SAC_SIM_ENGINE_HH
+#define SAC_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "llc/organization.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace sac {
+
+/**
+ * Data-scale divisor matching @p cfg (paper LLC / cfg LLC): scaled
+ * machines run proportionally scaled data sets so data:capacity
+ * ratios are preserved.
+ */
+double dataScale(const GpuConfig &cfg);
+
+/** Kernel sequence implied by a profile's phases. */
+std::vector<KernelDescriptor> kernelsFor(const WorkloadProfile &profile);
+
+/** One independent simulation: everything a worker needs to run it. */
+struct ExperimentJob
+{
+    WorkloadProfile profile;
+    GpuConfig config;
+    OrgKind org = OrgKind::MemorySide;
+    /** Per-job RNG seed; fully determines the generated trace. */
+    std::uint64_t seed = 1;
+    /** Display label ("CFD/sac"); defaulted by ExperimentPlan::add. */
+    std::string label;
+};
+
+/**
+ * An ordered list of jobs. Builder methods return *this so plans can
+ * be assembled fluently:
+ *
+ *   ExperimentPlan plan;
+ *   plan.addOrgSweep(findBenchmark("CFD"), cfg, allOrganizations());
+ */
+class ExperimentPlan
+{
+  public:
+    /** The five organizations in the paper's presentation order. */
+    static const std::vector<OrgKind> &allOrganizations();
+
+    /** Appends one job; an empty label becomes "<name>/<org>". */
+    ExperimentPlan &add(ExperimentJob job);
+
+    /** Convenience overload building the job in place. */
+    ExperimentPlan &add(const WorkloadProfile &profile,
+                        const GpuConfig &cfg, OrgKind org,
+                        std::uint64_t seed = 1, std::string label = "");
+
+    /** One job per organization, in the given order. */
+    ExperimentPlan &addOrgSweep(
+        const WorkloadProfile &profile, const GpuConfig &cfg,
+        const std::vector<OrgKind> &orgs = allOrganizations(),
+        std::uint64_t seed = 1);
+
+    const std::vector<ExperimentJob> &jobs() const { return jobs_; }
+    std::size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+    const ExperimentJob &operator[](std::size_t i) const { return jobs_[i]; }
+
+  private:
+    std::vector<ExperimentJob> jobs_;
+};
+
+/** Outcome of one job: the measurements plus engine bookkeeping. */
+struct RunRecord
+{
+    /** Index into the plan that produced this record. */
+    std::size_t jobIndex = 0;
+    std::string label;
+    std::string benchmark;
+    std::uint64_t seed = 1;
+    RunResult result;
+    /** Wall-clock time this job took on its worker, milliseconds. */
+    double wallMs = 0.0;
+};
+
+/** Progress callback payload: fired once per completed job. */
+struct EngineProgress
+{
+    /** Jobs finished so far (including this one) and plan size. */
+    std::size_t completed = 0;
+    std::size_t total = 0;
+    /** The job that just finished and its record. */
+    const ExperimentJob &job;
+    const RunRecord &record;
+};
+
+using ProgressFn = std::function<void(const EngineProgress &)>;
+
+/**
+ * Work-stealing thread pool for experiment plans.
+ *
+ * Jobs are dealt round-robin to per-worker deques; a worker drains
+ * its own deque front-to-back and, when empty, steals from the back
+ * of the most loaded victim, so long sweeps balance even when job
+ * costs are skewed (a full-input SAC run costs ~10x a scaled-down
+ * baseline).
+ */
+class ExperimentEngine
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks hardware_concurrency().
+     * A plan smaller than the worker count uses fewer workers; a
+     * 1-thread engine runs everything inline on the calling thread.
+     */
+    explicit ExperimentEngine(unsigned threads = 0);
+
+    /**
+     * Registers a progress callback. It is invoked from worker
+     * threads but never concurrently (the engine serializes calls),
+     * in completion order — which under parallel execution is not
+     * plan order; use EngineProgress::record.jobIndex to correlate.
+     */
+    void onProgress(ProgressFn fn) { progress_ = std::move(fn); }
+
+    /**
+     * Executes every job and returns records in plan order.
+     * A job that throws (bad configuration, simulator panic)
+     * rethrows the first such exception after the pool drains.
+     */
+    std::vector<RunRecord> run(const ExperimentPlan &plan) const;
+
+    /** Runs a single job on the calling thread. */
+    static RunRecord runJob(const ExperimentJob &job, std::size_t index = 0);
+
+    unsigned threads() const { return threads_; }
+
+  private:
+    unsigned threads_;
+    ProgressFn progress_;
+};
+
+} // namespace sac
+
+#endif // SAC_SIM_ENGINE_HH

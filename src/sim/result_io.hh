@@ -1,0 +1,55 @@
+/**
+ * @file
+ * JSON serialization for experiment results.
+ *
+ * One structured format for every consumer: the benches, sacsim
+ * (--json), and external tooling (CI perf tracking, plotting) all
+ * read and write the same document:
+ *
+ *   {
+ *     "schema": "sac.results.v1",
+ *     "results": [ { "label": ..., "benchmark": ..., "seed": ...,
+ *                    "wallMs": ..., "result": { ...RunResult... } } ]
+ *   }
+ *
+ * Serialization is lossless: integers are written verbatim and
+ * doubles with max_digits10 precision, so a write/read round trip
+ * reproduces every counter bit-for-bit (the determinism tests rely
+ * on this). No external JSON dependency — the subset emitted here is
+ * parsed by a ~150-line recursive-descent reader.
+ */
+
+#ifndef SAC_SIM_RESULT_IO_HH
+#define SAC_SIM_RESULT_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/system.hh"
+
+namespace sac::result_io {
+
+/** Serializes one RunResult as a JSON object. */
+std::string toJson(const RunResult &result);
+
+/** Serializes records (plan order) as a sac.results.v1 document. */
+std::string toJson(const std::vector<RunRecord> &records);
+
+/** Writes the sac.results.v1 document to @p os. */
+void write(std::ostream &os, const std::vector<RunRecord> &records);
+
+/** Parses a RunResult from the output of toJson(RunResult). */
+RunResult runResultFromJson(const std::string &text);
+
+/** Parses a sac.results.v1 document. Throws FatalError on malformed
+ *  input or a schema mismatch. */
+std::vector<RunRecord> fromJson(const std::string &text);
+
+/** Reads a sac.results.v1 document from @p is. */
+std::vector<RunRecord> read(std::istream &is);
+
+} // namespace sac::result_io
+
+#endif // SAC_SIM_RESULT_IO_HH

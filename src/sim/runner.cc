@@ -1,44 +1,49 @@
 #include "sim/runner.hh"
 
 #include "common/log.hh"
-#include "workload/tracegen.hh"
 
 namespace sac {
 
-double
-Runner::dataScale(const GpuConfig &cfg)
+std::vector<RunRecord>
+Runner::run(const ExperimentPlan &plan) const
 {
-    const double paper_llc = 16.0 * 1024.0 * 1024.0;
-    return paper_llc / static_cast<double>(cfg.llcBytesTotal());
+    ExperimentEngine engine(options_.jobs);
+    if (options_.progress)
+        engine.onProgress(options_.progress);
+    return engine.run(plan);
 }
 
-std::vector<KernelDescriptor>
-Runner::kernelsFor(const WorkloadProfile &profile)
+RunResult
+Runner::runOne(const WorkloadProfile &profile, const GpuConfig &cfg,
+               OrgKind kind, std::uint64_t seed) const
 {
-    std::vector<KernelDescriptor> kernels;
-    kernels.reserve(static_cast<std::size_t>(profile.numKernels));
-    for (int k = 0; k < profile.numKernels; ++k) {
-        KernelDescriptor d;
-        d.index = k;
-        d.name = profile.name + "-k" + std::to_string(k);
-        d.accessesPerWarp = profile.phase(k).accessesPerWarp;
-        kernels.push_back(d);
-    }
-    return kernels;
+    ExperimentJob job;
+    job.profile = profile;
+    job.config = cfg;
+    job.org = kind;
+    job.seed = seed;
+    return ExperimentEngine::runJob(job).result;
+}
+
+std::vector<RunResult>
+Runner::runOrganizations(const WorkloadProfile &profile,
+                         const GpuConfig &cfg, std::uint64_t seed) const
+{
+    ExperimentPlan plan;
+    plan.addOrgSweep(profile, cfg, ExperimentPlan::allOrganizations(),
+                     seed);
+    std::vector<RunResult> out;
+    out.reserve(plan.size());
+    for (auto &rec : run(plan))
+        out.push_back(std::move(rec.result));
+    return out;
 }
 
 RunResult
 Runner::run(const WorkloadProfile &profile, const GpuConfig &cfg,
             OrgKind kind, std::uint64_t seed)
 {
-    GpuConfig run_cfg = cfg;
-    run_cfg.seed = seed;
-    run_cfg.validate();
-
-    const WorkloadProfile scaled = profile.scaledData(dataScale(run_cfg));
-    SharingTraceGen gen(scaled, run_cfg, seed);
-    System system(run_cfg, kind, gen);
-    return system.run(kernelsFor(scaled));
+    return Runner().runOne(profile, cfg, kind, seed);
 }
 
 std::map<OrgKind, RunResult>
@@ -46,12 +51,21 @@ Runner::runAll(const WorkloadProfile &profile, const GpuConfig &cfg,
                std::uint64_t seed)
 {
     std::map<OrgKind, RunResult> out;
-    for (const auto kind :
-         {OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
-          OrgKind::DynamicLlc, OrgKind::Sac}) {
-        out.emplace(kind, run(profile, cfg, kind, seed));
-    }
+    for (const auto kind : ExperimentPlan::allOrganizations())
+        out.emplace(kind, Runner().runOne(profile, cfg, kind, seed));
     return out;
+}
+
+double
+Runner::dataScale(const GpuConfig &cfg)
+{
+    return sac::dataScale(cfg);
+}
+
+std::vector<KernelDescriptor>
+Runner::kernelsFor(const WorkloadProfile &profile)
+{
+    return sac::kernelsFor(profile);
 }
 
 double

@@ -1,9 +1,26 @@
 /**
  * @file
- * Experiment runner: one call builds the generator, the system and
- * the kernel sequence for a (workload, config, organization) triple
- * and returns the measurements. All benches and examples go through
- * here, so every experiment shares identical methodology.
+ * The experiment Runner: the library's session-level public API.
+ *
+ * A Runner is a configured experiment session — worker count and
+ * progress reporting — through which callers execute declarative
+ * ExperimentPlans (see sim/engine.hh) and convenience sweeps. All
+ * benches, the sacsim driver and the examples go through here, so
+ * every experiment shares identical methodology.
+ *
+ *   Runner runner(Runner::Options{.jobs = 4});
+ *   ExperimentPlan plan;
+ *   plan.addOrgSweep(findBenchmark("CFD"), cfg);
+ *   for (const RunRecord &rec : runner.run(plan))
+ *       std::cout << rec.label << ": " << rec.result.cycles << "\n";
+ *
+ * Results come back in plan order and are bit-identical for any
+ * worker count (each job is seeded independently); only the wall-time
+ * fields vary between runs.
+ *
+ * The pre-engine static entry points (`Runner::run(profile, ...)`,
+ * `Runner::runAll`) remain as thin deprecated shims for one release;
+ * see docs/API.md for the migration table.
  */
 
 #ifndef SAC_SIM_RUNNER_HH
@@ -15,25 +32,72 @@
 
 #include "common/config.hh"
 #include "llc/organization.hh"
+#include "sim/engine.hh"
 #include "sim/system.hh"
 #include "workload/profile.hh"
 
 namespace sac {
 
-/** Runs complete experiments. */
+/** Runs complete experiments, serially or on a worker pool. */
 class Runner
 {
   public:
+    struct Options
+    {
+        /** Concurrent simulation jobs; 0 = hardware_concurrency(). */
+        unsigned jobs = 1;
+        /** Optional per-job completion callback (serialized). */
+        ProgressFn progress;
+    };
+
+    /** A serial session (jobs = 1, no progress reporting). */
+    Runner() = default;
+
+    /** A session with @p jobs workers (0 = hardware_concurrency). */
+    explicit Runner(unsigned jobs) { options_.jobs = jobs; }
+
+    explicit Runner(Options options) : options_(std::move(options)) {}
+
+    /** Replaces the progress callback. */
+    void onProgress(ProgressFn fn) { options_.progress = std::move(fn); }
+
+    unsigned jobs() const { return options_.jobs; }
+
+    /**
+     * Executes @p plan on the session's worker pool; one record per
+     * job, in plan order.
+     */
+    std::vector<RunRecord> run(const ExperimentPlan &plan) const;
+
     /**
      * Runs @p profile (full-scale Table 4 sizes) on @p cfg under
-     * @p kind. The data set is scaled by the config's LLC ratio to
-     * the paper machine so data:capacity ratios are preserved.
+     * @p kind on the calling thread. The data set is scaled by the
+     * config's LLC ratio to the paper machine so data:capacity
+     * ratios are preserved.
      */
+    RunResult runOne(const WorkloadProfile &profile, const GpuConfig &cfg,
+                     OrgKind kind, std::uint64_t seed = 1) const;
+
+    /**
+     * Sweeps all five organizations (paper presentation order) and
+     * returns results in that order; each RunResult carries its
+     * organization name.
+     */
+    std::vector<RunResult> runOrganizations(const WorkloadProfile &profile,
+                                            const GpuConfig &cfg,
+                                            std::uint64_t seed = 1) const;
+
+    // --- deprecated static shims (pre-engine API) ---------------------
+
+    /** @deprecated Use runOne() / run(plan) on a Runner instance. */
     static RunResult run(const WorkloadProfile &profile,
                          const GpuConfig &cfg, OrgKind kind,
                          std::uint64_t seed = 1);
 
-    /** Runs all five organizations; keyed by organization name. */
+    /**
+     * @deprecated Use runOrganizations(): the map loses the canonical
+     * presentation order and forces callers to re-map names.
+     */
     static std::map<OrgKind, RunResult> runAll(
         const WorkloadProfile &profile, const GpuConfig &cfg,
         std::uint64_t seed = 1);
@@ -44,6 +108,9 @@ class Runner
     /** Kernel sequence implied by a profile's phases. */
     static std::vector<KernelDescriptor> kernelsFor(
         const WorkloadProfile &profile);
+
+  private:
+    Options options_;
 };
 
 /** Speedup of @p result over @p baseline (cycles ratio). */

@@ -1,0 +1,190 @@
+/** @file Tests for the parallel experiment engine. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/log.hh"
+#include "sim/engine.hh"
+#include "sim/result_io.hh"
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+namespace sac {
+namespace {
+
+/** Small but real configuration so plans finish in milliseconds. */
+GpuConfig
+tinyConfig()
+{
+    GpuConfig cfg = GpuConfig::scaled(8);
+    cfg.warpsPerCluster = 4;
+    cfg.sac.profileWindow = 512;
+    cfg.sac.profileMinRequests = 400;
+    return cfg;
+}
+
+WorkloadProfile
+tinyProfile(const std::string &name)
+{
+    WorkloadProfile p = findBenchmark(name);
+    p.numKernels = 1;
+    p.phases[0].accessesPerWarp = 32;
+    return p;
+}
+
+/** A mixed plan: two workloads, three organizations, two seeds. */
+ExperimentPlan
+mixedPlan()
+{
+    const auto cfg = tinyConfig();
+    ExperimentPlan plan;
+    for (const char *name : {"RN", "GEMM"}) {
+        const auto p = tinyProfile(name);
+        plan.addOrgSweep(p, cfg,
+                         {OrgKind::MemorySide, OrgKind::SmSide,
+                          OrgKind::Sac});
+        plan.add(p, cfg, OrgKind::MemorySide, 7);
+    }
+    return plan;
+}
+
+TEST(ExperimentPlan, DefaultsLabelsAndKeepsOrder)
+{
+    const auto cfg = tinyConfig();
+    ExperimentPlan plan;
+    plan.add(tinyProfile("RN"), cfg, OrgKind::Sac);
+    plan.add(tinyProfile("RN"), cfg, OrgKind::SmSide, 3, "custom");
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].label, "RN/SAC");
+    EXPECT_EQ(plan[1].label, "custom");
+    EXPECT_EQ(plan[1].seed, 3u);
+}
+
+TEST(ExperimentPlan, OrgSweepUsesPresentationOrder)
+{
+    const auto &orgs = ExperimentPlan::allOrganizations();
+    ASSERT_EQ(orgs.size(), 5u);
+    EXPECT_EQ(orgs.front(), OrgKind::MemorySide);
+    EXPECT_EQ(orgs.back(), OrgKind::Sac);
+
+    ExperimentPlan plan;
+    plan.addOrgSweep(tinyProfile("RN"), tinyConfig());
+    ASSERT_EQ(plan.size(), 5u);
+    for (std::size_t i = 0; i < orgs.size(); ++i)
+        EXPECT_EQ(plan[i].org, orgs[i]);
+}
+
+TEST(ExperimentEngine, ResultsAreOrderedAndLabelled)
+{
+    const auto plan = mixedPlan();
+    const auto records = ExperimentEngine(2).run(plan);
+    ASSERT_EQ(records.size(), plan.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].jobIndex, i);
+        EXPECT_EQ(records[i].label, plan[i].label);
+        EXPECT_EQ(records[i].result.organization,
+                  toString(plan[i].org));
+        EXPECT_GT(records[i].result.cycles, 0u);
+        EXPECT_GE(records[i].wallMs, 0.0);
+    }
+}
+
+TEST(ExperimentEngine, ThreadCountDoesNotChangeResults)
+{
+    const auto plan = mixedPlan();
+
+    // Byte-identical measurements for 1, 2 and 8 workers: serialize
+    // every RunResult (all counters, all decisions) and compare the
+    // strings. Lossless serialization makes this an exact check.
+    const auto serial = ExperimentEngine(1).run(plan);
+    ASSERT_EQ(serial.size(), plan.size());
+    std::vector<std::string> expected;
+    expected.reserve(serial.size());
+    for (const auto &rec : serial)
+        expected.push_back(result_io::toJson(rec.result));
+
+    for (const unsigned threads : {2u, 8u}) {
+        const auto parallel = ExperimentEngine(threads).run(plan);
+        ASSERT_EQ(parallel.size(), plan.size()) << threads;
+        for (std::size_t i = 0; i < parallel.size(); ++i) {
+            EXPECT_EQ(result_io::toJson(parallel[i].result),
+                      expected[i])
+                << "job " << i << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(ExperimentEngine, ProgressFiresOncePerJobAndIsSerialized)
+{
+    const auto plan = mixedPlan();
+    ExperimentEngine engine(4);
+
+    std::atomic<int> inside{0};
+    std::set<std::size_t> seen;
+    std::size_t calls = 0;
+    bool overlapped = false;
+    engine.onProgress([&](const EngineProgress &p) {
+        if (inside.fetch_add(1) != 0)
+            overlapped = true;
+        ++calls;
+        seen.insert(p.record.jobIndex);
+        EXPECT_EQ(p.total, plan.size());
+        EXPECT_GE(p.completed, 1u);
+        EXPECT_LE(p.completed, plan.size());
+        inside.fetch_sub(1);
+    });
+
+    engine.run(plan);
+    EXPECT_EQ(calls, plan.size());
+    EXPECT_EQ(seen.size(), plan.size());
+    EXPECT_FALSE(overlapped);
+}
+
+TEST(ExperimentEngine, BadJobConfigurationPropagates)
+{
+    GpuConfig bad = tinyConfig();
+    bad.sectorsPerLine = 3; // validate() rejects this
+
+    ExperimentPlan plan;
+    plan.add(tinyProfile("RN"), tinyConfig(), OrgKind::MemorySide);
+    plan.add(tinyProfile("RN"), bad, OrgKind::MemorySide);
+    EXPECT_THROW(ExperimentEngine(2).run(plan), FatalError);
+}
+
+TEST(Runner, InstanceApiMatchesStaticShims)
+{
+    const auto cfg = tinyConfig();
+    const auto p = tinyProfile("RN");
+
+    const Runner runner;
+    const auto via_instance = runner.runOne(p, cfg, OrgKind::SmSide, 1);
+    const auto via_shim = Runner::run(p, cfg, OrgKind::SmSide, 1);
+    EXPECT_EQ(result_io::toJson(via_instance),
+              result_io::toJson(via_shim));
+}
+
+TEST(Runner, RunOrganizationsIsOrdered)
+{
+    const auto results =
+        Runner(2u)
+            .runOrganizations(tinyProfile("RN"), tinyConfig(), 1);
+    const auto &orgs = ExperimentPlan::allOrganizations();
+    ASSERT_EQ(results.size(), orgs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].organization, toString(orgs[i]));
+        EXPECT_GT(results[i].cycles, 0u);
+    }
+
+    // The deprecated map API returns the same measurements, keyed.
+    const auto mapped = Runner::runAll(tinyProfile("RN"), tinyConfig(), 1);
+    ASSERT_EQ(mapped.size(), results.size());
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+        EXPECT_EQ(result_io::toJson(mapped.at(orgs[i])),
+                  result_io::toJson(results[i]));
+    }
+}
+
+} // namespace
+} // namespace sac

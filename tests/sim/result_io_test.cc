@@ -1,0 +1,132 @@
+/** @file Round-trip tests for the JSON result serialization. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/result_io.hh"
+
+namespace sac {
+namespace {
+
+/** A RunResult exercising every field, with awkward doubles. */
+RunResult
+fullResult()
+{
+    RunResult r;
+    r.organization = "SAC";
+    r.cycles = 123456789;
+    r.kernelCycles = {100, 200, 123456489};
+    r.accesses = 1u << 20;
+    r.l1Hits = 999999;
+    r.l1Misses = 48577;
+    r.llcRequests = 50000;
+    r.llcHits = 43210;
+    r.effLlcBw = 14.833491994807442;
+    r.bwLocalLlc = 12.534725227174384;
+    r.bwRemoteLlc = 0.25845954132410209;
+    r.bwLocalMem = 1.0 / 3.0;
+    r.bwRemoteMem = 2.0 / 7.0;
+    r.llcRemoteFraction = 0.43766344375683491;
+    r.avgLoadLatency = 118.04611357120015;
+    r.icnBytes = 11506640;
+    r.dramBytes = 16147584;
+    r.invalidations = 42;
+    r.reconfigurations = 3;
+    r.flushStallCycles = 7373;
+
+    SacDecision d;
+    d.kernel = 1;
+    d.chosen = LlcMode::SmSide;
+    d.eab.memSide = {1338.2338893672368, 384.0};
+    d.eab.smSide = {1244.6109325264893, 1986.7567517723419};
+    d.inputs.rLocal = 0.38516537086572833;
+    d.inputs.lsuMem = 0.90418173598553353;
+    d.inputs.lsuSm = 0.87875659050966626;
+    d.inputs.hitMem = 0.81717742338649202;
+    d.inputs.hitSm = 0.77328936521022262;
+    r.sacDecisions.push_back(d);
+    return r;
+}
+
+TEST(ResultIo, RunResultRoundTripsBitForBit)
+{
+    const RunResult original = fullResult();
+    const std::string json = result_io::toJson(original);
+    const RunResult back = result_io::runResultFromJson(json);
+
+    // Lossless: re-serializing the parsed result reproduces the
+    // document byte for byte, which covers every field at once.
+    EXPECT_EQ(result_io::toJson(back), json);
+
+    // Spot checks, including exact doubles.
+    EXPECT_EQ(back.organization, "SAC");
+    EXPECT_EQ(back.cycles, original.cycles);
+    EXPECT_EQ(back.kernelCycles, original.kernelCycles);
+    EXPECT_EQ(back.effLlcBw, original.effLlcBw);
+    EXPECT_EQ(back.bwLocalMem, original.bwLocalMem);
+    ASSERT_EQ(back.sacDecisions.size(), 1u);
+    EXPECT_EQ(back.sacDecisions[0].chosen, LlcMode::SmSide);
+    EXPECT_EQ(back.sacDecisions[0].eab.smSide.remote,
+              original.sacDecisions[0].eab.smSide.remote);
+    EXPECT_EQ(back.sacDecisions[0].inputs.hitSm,
+              original.sacDecisions[0].inputs.hitSm);
+}
+
+TEST(ResultIo, DocumentRoundTripsThroughStreams)
+{
+    RunRecord a;
+    a.jobIndex = 0;
+    a.label = "RN/\"quoted\"\nlabel";
+    a.benchmark = "RN";
+    a.seed = 7;
+    a.wallMs = 12.75;
+    a.result = fullResult();
+
+    RunRecord b;
+    b.jobIndex = 1;
+    b.label = "GEMM/Memory-side";
+    b.benchmark = "GEMM";
+    b.seed = 1;
+    b.wallMs = 0.125;
+    b.result.organization = "Memory-side";
+    b.result.cycles = 1;
+
+    std::stringstream ss;
+    result_io::write(ss, {a, b});
+    const auto back = result_io::read(ss);
+
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].label, a.label);
+    EXPECT_EQ(back[0].seed, 7u);
+    EXPECT_EQ(back[0].wallMs, 12.75);
+    EXPECT_EQ(result_io::toJson(back[0].result),
+              result_io::toJson(a.result));
+    EXPECT_EQ(back[1].benchmark, "GEMM");
+    EXPECT_EQ(back[1].result.cycles, 1u);
+}
+
+TEST(ResultIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(result_io::fromJson("{"), FatalError);
+    EXPECT_THROW(result_io::fromJson("[]"), FatalError);
+    EXPECT_THROW(result_io::fromJson("{\"schema\":\"nope\"}"),
+                 FatalError);
+    EXPECT_THROW(result_io::runResultFromJson("{\"cycles\":1}"),
+                 FatalError);
+    EXPECT_THROW(result_io::fromJson(
+                     "{\"schema\":\"sac.results.v1\",\"results\":["
+                     "{\"jobIndex\":0}]}"),
+                 FatalError);
+}
+
+TEST(ResultIo, ParsesInsignificantWhitespace)
+{
+    const std::string json =
+        "{ \"schema\" : \"sac.results.v1\" ,\n \"results\" : [ ] }";
+    EXPECT_TRUE(result_io::fromJson(json).empty());
+}
+
+} // namespace
+} // namespace sac

@@ -2,18 +2,22 @@
  * @file
  * sacsim — command-line driver for the SAC multi-chip GPU simulator.
  *
- * Runs one (workload, organization, configuration) experiment and
- * prints the result; the Swiss-army knife for exploring the design
- * space without writing C++.
+ * Runs (workload, organization, configuration) experiments and prints
+ * the results; the Swiss-army knife for exploring the design space
+ * without writing C++. Organization sweeps execute in parallel
+ * through the ExperimentEngine (--jobs), and results can be exported
+ * as a sac.results.v1 JSON document (--json).
  *
  *   sacsim --list
  *   sacsim --benchmark CFD --org sac
- *   sacsim --benchmark GEMM --org all --scale 4 --input-scale 0.125
+ *   sacsim --benchmark CFD --org all --jobs 4 --json cfd.json
+ *   sacsim --benchmark GEMM --org mem,sac --scale 4 --input-scale 0.125
  *   sacsim --benchmark RN --org sm --coherence hw --sectors 4 --stats
  *   sacsim --benchmark SN --org sac --record sn.trace
  *   sacsim --trace sn.trace --org mem --apw 256
  */
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -22,6 +26,7 @@
 
 #include "common/log.hh"
 #include "sim/report.hh"
+#include "sim/result_io.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
 #include "workload/suite.hh"
@@ -42,6 +47,8 @@ struct Options
     std::string coherence = "sw";
     unsigned sectors = 1;
     double interChipBw = 0.0; // 0 = config default
+    unsigned jobs = 1;
+    std::string jsonPath;
     bool stats = false;
     bool list = false;
     std::string recordPath;
@@ -56,8 +63,12 @@ usage(int code)
         "usage: sacsim [options]\n"
         "  --list                 print the Table 4 benchmark suite\n"
         "  --benchmark NAME       workload to run (default CFD)\n"
-        "  --org KIND             mem|sm|static|dynamic|sac|all "
-        "(default all)\n"
+        "  --org KINDS            comma-separated list of\n"
+        "                         mem|sm|static|dynamic|sac, or 'all'\n"
+        "                         (default all; e.g. --org mem,sac)\n"
+        "  --jobs N               run the sweep on N worker threads\n"
+        "                         (0 = all hardware threads, default 1)\n"
+        "  --json FILE            write results as JSON ('-' = stdout)\n"
         "  --scale N              topology divisor: 1=paper machine "
         "(default 4)\n"
         "  --seed N               experiment seed (default 1)\n"
@@ -91,6 +102,30 @@ parseOrg(const std::string &name)
     fatal("unknown organization '", name, "'");
 }
 
+/** "all" or a comma-separated subset, e.g. "mem,sac". */
+std::vector<OrgKind>
+parseOrgList(const std::string &spec)
+{
+    if (spec == "all")
+        return ExperimentPlan::allOrganizations();
+    std::vector<OrgKind> kinds;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string item =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (item.empty())
+            fatal("empty entry in --org list '", spec, "'");
+        kinds.push_back(parseOrg(item));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return kinds;
+}
+
 Options
 parse(int argc, char **argv)
 {
@@ -110,6 +145,10 @@ parse(int argc, char **argv)
             o.benchmark = value();
         else if (arg == "--org")
             o.org = value();
+        else if (arg == "--jobs")
+            o.jobs = static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--json")
+            o.jsonPath = value();
         else if (arg == "--scale")
             o.scale = std::stoi(value());
         else if (arg == "--seed")
@@ -151,6 +190,11 @@ listSuite()
     t.print(std::cout);
 }
 
+/**
+ * Serial path for the modes the engine cannot parallelize: trace
+ * record/replay (a shared file is inherently ordered) and --stats
+ * (needs the live System after the run).
+ */
 RunResult
 runOne(const Options &o, const GpuConfig &cfg,
        const WorkloadProfile &profile, OrgKind kind, bool dump_stats)
@@ -164,7 +208,7 @@ runOne(const Options &o, const GpuConfig &cfg,
             TraceFileSource::fromFile(o.tracePath));
     } else {
         gen = std::make_unique<SharingTraceGen>(
-            profile.scaledData(Runner::dataScale(cfg)), cfg, o.seed);
+            profile.scaledData(dataScale(cfg)), cfg, o.seed);
         if (!o.recordPath.empty()) {
             record = std::make_unique<std::ofstream>(o.recordPath);
             if (!*record)
@@ -176,11 +220,59 @@ runOne(const Options &o, const GpuConfig &cfg,
 
     System system(cfg, kind, trace);
     const auto result =
-        system.run(Runner::kernelsFor(profile.scaledData(
-            Runner::dataScale(cfg))));
+        system.run(kernelsFor(profile.scaledData(dataScale(cfg))));
     if (dump_stats)
         system.dumpStats(std::cout);
     return result;
+}
+
+/** True when the request needs the serial single-System path. */
+bool
+needsSerialPath(const Options &o, std::size_t num_orgs)
+{
+    return !o.tracePath.empty() || !o.recordPath.empty() ||
+           (o.stats && num_orgs == 1);
+}
+
+void
+printRecords(const Options &o, const std::vector<RunRecord> &records)
+{
+    std::optional<RunResult> baseline;
+    report::Table t({"organization", "cycles", "speedup", "LLC miss",
+                     "eff LLC BW", "remote frac", "avg load lat",
+                     "wall ms"});
+    for (const auto &rec : records) {
+        const auto &r = rec.result;
+        if (!baseline)
+            baseline = r;
+        t.addRow({r.organization, std::to_string(r.cycles),
+                  report::times(speedup(*baseline, r)),
+                  report::percent(r.llcMissRate()),
+                  report::num(r.effLlcBw),
+                  report::percent(r.llcRemoteFraction),
+                  report::num(r.avgLoadLatency, 0),
+                  report::num(rec.wallMs, 0)});
+    }
+    for (const auto &rec : records) {
+        for (const auto &d : rec.result.sacDecisions) {
+            std::cout << "SAC kernel " << d.kernel << " -> "
+                      << toString(d.chosen) << "\n";
+        }
+    }
+    t.print(std::cout);
+
+    if (o.jsonPath.empty())
+        return;
+    if (o.jsonPath == "-") {
+        result_io::write(std::cout, records);
+    } else {
+        std::ofstream out(o.jsonPath);
+        if (!out)
+            fatal("cannot open '", o.jsonPath, "' for writing");
+        result_io::write(out, records);
+        std::cerr << "wrote " << records.size() << " result(s) to "
+                  << o.jsonPath << "\n";
+    }
 }
 
 int
@@ -211,36 +303,37 @@ run(const Options &o)
     std::cout << "workload " << profile.name << " (x" << o.inputScale
               << ") on " << cfg.summary() << "\n\n";
 
-    std::vector<OrgKind> kinds;
-    if (o.org == "all") {
-        kinds = {OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
-                 OrgKind::DynamicLlc, OrgKind::Sac};
+    const std::vector<OrgKind> kinds = parseOrgList(o.org);
+    std::vector<RunRecord> records;
+
+    if (needsSerialPath(o, kinds.size())) {
+        for (const auto kind : kinds) {
+            const bool dump = o.stats && kinds.size() == 1;
+            const auto t0 = std::chrono::steady_clock::now();
+            RunRecord rec;
+            rec.jobIndex = records.size();
+            rec.label = profile.name + std::string("/") + toString(kind);
+            rec.benchmark = profile.name;
+            rec.seed = o.seed;
+            rec.result = runOne(o, cfg, profile, kind, dump);
+            rec.wallMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+            records.push_back(std::move(rec));
+        }
     } else {
-        kinds = {parseOrg(o.org)};
+        ExperimentPlan plan;
+        plan.addOrgSweep(profile, cfg, kinds, o.seed);
+        Runner::Options ropts;
+        ropts.jobs = o.jobs;
+        ropts.progress = [](const EngineProgress &p) {
+            std::cerr << "  [" << p.completed << "/" << p.total << "] "
+                      << p.job.label << "\n";
+        };
+        records = Runner(ropts).run(plan);
     }
 
-    std::optional<RunResult> baseline;
-    report::Table t({"organization", "cycles", "speedup", "LLC miss",
-                     "eff LLC BW", "remote frac", "avg load lat"});
-    for (const auto kind : kinds) {
-        const bool dump = o.stats && kinds.size() == 1;
-        const auto r = runOne(o, cfg, profile, kind, dump);
-        if (!baseline)
-            baseline = r;
-        t.addRow({toString(kind), std::to_string(r.cycles),
-                  report::times(speedup(*baseline, r)),
-                  report::percent(r.llcMissRate()),
-                  report::num(r.effLlcBw),
-                  report::percent(r.llcRemoteFraction),
-                  report::num(r.avgLoadLatency, 0)});
-        if (kind == OrgKind::Sac) {
-            for (const auto &d : r.sacDecisions) {
-                std::cout << "SAC kernel " << d.kernel << " -> "
-                          << toString(d.chosen) << "\n";
-            }
-        }
-    }
-    t.print(std::cout);
+    printRecords(o, records);
     return 0;
 }
 
