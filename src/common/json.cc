@@ -1,0 +1,285 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace sac::json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+number(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    return buf;
+}
+
+std::string
+number(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    return buf;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const auto it = object.find(key);
+    if (it == object.end())
+        fatal("JSON: missing key '", key, "'");
+    return it->second;
+}
+
+std::uint64_t
+Value::asU64() const
+{
+    require(Type::Number, "number");
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+double
+Value::asDouble() const
+{
+    require(Type::Number, "number");
+    return std::strtod(text.c_str(), nullptr);
+}
+
+const std::string &
+Value::asString() const
+{
+    require(Type::String, "string");
+    return text;
+}
+
+void
+Value::require(Type t, const char *what) const
+{
+    if (type != t)
+        fatal("JSON: expected a ", what);
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value parse()
+    {
+        const Value v = value();
+        skipWs();
+        if (pos != text_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        fatal("JSON: ", why, " at offset ", pos);
+    }
+
+    void skipWs()
+    {
+        while (pos < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos])))
+            ++pos;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    Value value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': case 'f': return boolean();
+          case 'n': return null();
+          default: return number();
+        }
+    }
+
+    Value object()
+    {
+        expect('{');
+        Value v;
+        v.type = Value::Type::Object;
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            const Value key = string();
+            expect(':');
+            v.object.emplace(key.text, value());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value array()
+    {
+        expect('[');
+        Value v;
+        v.type = Value::Type::Array;
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(value());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Value string()
+    {
+        expect('"');
+        Value v;
+        v.type = Value::Type::String;
+        while (pos < text_.size()) {
+            const char c = text_[pos++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.text += c;
+                continue;
+            }
+            if (pos >= text_.size())
+                fail("dangling escape");
+            const char e = text_[pos++];
+            switch (e) {
+              case '"': v.text += '"'; break;
+              case '\\': v.text += '\\'; break;
+              case '/': v.text += '/'; break;
+              case 'n': v.text += '\n'; break;
+              case 't': v.text += '\t'; break;
+              case 'r': v.text += '\r'; break;
+              case 'b': v.text += '\b'; break;
+              case 'f': v.text += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text_.size())
+                    fail("truncated \\u escape");
+                const unsigned code = static_cast<unsigned>(std::strtoul(
+                    text_.substr(pos, 4).c_str(), nullptr, 16));
+                pos += 4;
+                // We only ever emit \u00XX control characters; wider
+                // code points degrade to '?' rather than mis-decoding.
+                v.text += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    Value number()
+    {
+        skipWs();
+        Value v;
+        v.type = Value::Type::Number;
+        const std::size_t start = pos;
+        while (pos < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos])) ||
+                text_[pos] == '-' || text_[pos] == '+' ||
+                text_[pos] == '.' || text_[pos] == 'e' ||
+                text_[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            fail("expected a value");
+        v.text = text_.substr(start, pos - start);
+        return v;
+    }
+
+    Value boolean()
+    {
+        Value v;
+        v.type = Value::Type::Bool;
+        if (text_.compare(pos, 4, "true") == 0) {
+            v.boolean = true;
+            pos += 4;
+        } else if (text_.compare(pos, 5, "false") == 0) {
+            pos += 5;
+        } else {
+            fail("expected a boolean");
+        }
+        return v;
+    }
+
+    Value null()
+    {
+        if (text_.compare(pos, 4, "null") != 0)
+            fail("expected null");
+        pos += 4;
+        return Value{};
+    }
+
+    const std::string &text_;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace sac::json

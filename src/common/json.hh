@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON reading and writing, shared by every serializer in the
+ * tree (sim/result_io, telemetry/export) and by tests that validate
+ * emitted documents.
+ *
+ * Writing is string assembly through Builder/escape/number — numbers
+ * are emitted losslessly (integers verbatim, doubles at max_digits10)
+ * so a write/read round trip reproduces every counter bit-for-bit.
+ * Reading is a small recursive-descent parser producing a Value tree;
+ * numbers keep their raw spelling so the caller chooses integer or
+ * double conversion without loss. Malformed input throws FatalError.
+ */
+
+#ifndef SAC_COMMON_JSON_HH
+#define SAC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sac::json {
+
+// --- writing ----------------------------------------------------------
+
+/** Quotes and escapes @p s as a JSON string literal. */
+std::string escape(const std::string &s);
+
+/** Formats @p v with max_digits10 precision (lossless round trip). */
+std::string number(double v);
+
+/** Formats @p v verbatim. */
+std::string number(std::uint64_t v);
+
+/** Streams an object/array one field at a time with the commas. */
+class Builder
+{
+  public:
+    explicit Builder(char open) { text += open; }
+
+    Builder &field(const std::string &key, std::string value)
+    {
+        sep();
+        text += escape(key) + ":" + std::move(value);
+        return *this;
+    }
+
+    Builder &item(std::string value)
+    {
+        sep();
+        text += std::move(value);
+        return *this;
+    }
+
+    std::string close(char c)
+    {
+        text += c;
+        return std::move(text);
+    }
+
+  private:
+    void sep()
+    {
+        if (!first)
+            text += ',';
+        first = false;
+    }
+
+    std::string text;
+    bool first = true;
+};
+
+// --- reading ----------------------------------------------------------
+
+/** Parsed JSON value tree. */
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    std::string text; // raw token for Number, decoded for String
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool has(const std::string &key) const
+    {
+        return object.find(key) != object.end();
+    }
+    /** Member access; throws FatalError when @p key is absent. */
+    const Value &at(const std::string &key) const;
+
+    std::uint64_t asU64() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Throws FatalError unless this value has type @p t. */
+    void require(Type t, const char *what) const;
+};
+
+/** Parses one complete JSON document; throws FatalError on errors. */
+Value parse(const std::string &text);
+
+} // namespace sac::json
+
+#endif // SAC_COMMON_JSON_HH

@@ -83,16 +83,25 @@ StatGroup::resetAll()
 }
 
 void
-StatGroup::dump(std::ostream &os, const std::string &prefix) const
+StatGroup::forEach(const Visitor &visit, const std::string &prefix) const
 {
     const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
-    for (const auto &[name, stat] : stats_) {
-        os << std::left << std::setw(56) << (base + "." + name) << " "
-           << std::setprecision(8) << stat->value() << "  # " << stat->desc()
-           << "\n";
-    }
+    for (const auto &[name, stat] : stats_)
+        visit(base + "." + name, *stat);
     for (const auto *child : children_)
-        child->dump(os, base);
+        child->forEach(visit, base);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    forEach(
+        [&os](const std::string &path, const Stat &stat) {
+            os << std::left << std::setw(56) << path << " "
+               << std::setprecision(8) << stat.value() << "  # "
+               << stat.desc() << "\n";
+        },
+        prefix);
 }
 
 } // namespace sac::stats

@@ -12,6 +12,7 @@
 #define SAC_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -143,7 +144,21 @@ class StatGroup
     /** Resets every stat in this group and all children. */
     void resetAll();
 
-    /** Writes "name value # desc" lines, depth-first. */
+    /** Visitor over every stat: dotted path (group-qualified) + stat. */
+    using Visitor = std::function<void(const std::string &path,
+                                       const Stat &stat)>;
+
+    /**
+     * Visits every stat in this group and all children, depth-first,
+     * stats (name order) before child groups (registration order) —
+     * the same order dump() prints. The path is fully qualified, e.g.
+     * "system.chip0.llcHits". Exporters and tests use this instead of
+     * string-parsing the dump() text format.
+     */
+    void forEach(const Visitor &visit,
+                 const std::string &prefix = "") const;
+
+    /** Writes "name value # desc" lines; implemented on forEach(). */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
   private:

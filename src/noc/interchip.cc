@@ -12,6 +12,7 @@ InterChipNet::InterChipNet(int num_chips, double egress_bw, Cycle latency)
     for (int c = 0; c < chips; ++c)
         egress.emplace_back(egress_bw, 0);
     inbox.resize(static_cast<std::size_t>(chips));
+    bytesBySrc.resize(static_cast<std::size_t>(chips), 0);
 }
 
 void
@@ -36,9 +37,11 @@ void
 InterChipNet::tick(Cycle now)
 {
     Packet pkt;
-    for (auto &q : egress) {
+    for (std::size_t src = 0; src < egress.size(); ++src) {
+        auto &q = egress[src];
         while (q.tryPop(pkt, now)) {
             bytes += pkt.bytes;
+            bytesBySrc[src] += pkt.bytes;
             inbox[static_cast<std::size_t>(pkt.nocDst)].push_back(
                 {pkt, now + latency_});
         }

@@ -49,6 +49,15 @@ class InterChipNet
     /** Total bytes that crossed chip boundaries. */
     std::uint64_t bytesTransferred() const { return bytes; }
 
+    /**
+     * Cumulative egress bytes per source chip. Telemetry derives the
+     * per-epoch peak link utilization (traffic skew) from the deltas.
+     */
+    const std::vector<std::uint64_t> &bytesBySource() const
+    {
+        return bytesBySrc;
+    }
+
     /** Packets currently in flight or queued. */
     std::size_t inFlight() const;
 
@@ -66,6 +75,7 @@ class InterChipNet
     std::vector<BwQueue> egress;              // per source chip
     std::vector<std::deque<Arrival>> inbox;   // per destination chip
     std::uint64_t bytes = 0;
+    std::vector<std::uint64_t> bytesBySrc;    // per source chip
 };
 
 } // namespace sac

@@ -49,6 +49,8 @@ ExperimentPlan::add(ExperimentJob job)
 {
     if (job.label.empty())
         job.label = job.profile.name + "/" + toString(job.org);
+    if (!job.telemetry.enabled())
+        job.telemetry = telemetryDefault_;
     jobs_.push_back(std::move(job));
     return *this;
 }
@@ -77,6 +79,17 @@ ExperimentPlan::addOrgSweep(const WorkloadProfile &profile,
     return *this;
 }
 
+ExperimentPlan &
+ExperimentPlan::enableTelemetry(const telemetry::Options &opts)
+{
+    telemetryDefault_ = opts;
+    for (auto &job : jobs_) {
+        if (!job.telemetry.enabled())
+            job.telemetry = opts;
+    }
+    return *this;
+}
+
 ExperimentEngine::ExperimentEngine(unsigned threads) : threads_(threads) {}
 
 RunRecord
@@ -91,6 +104,8 @@ ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index)
     const WorkloadProfile scaled = job.profile.scaledData(dataScale(cfg));
     SharingTraceGen gen(scaled, cfg, job.seed);
     System system(cfg, job.org, gen);
+    if (job.telemetry.enabled())
+        system.enableTelemetry(job.telemetry);
 
     RunRecord rec;
     rec.jobIndex = index;
@@ -116,18 +131,33 @@ struct WorkerQueue
 } // namespace
 
 std::vector<RunRecord>
-ExperimentEngine::run(const ExperimentPlan &plan) const
+ExperimentEngine::run(const ExperimentPlan &plan,
+                      EngineTelemetry *telemetry) const
 {
     const std::size_t n = plan.size();
     std::vector<RunRecord> out(n);
-    if (n == 0)
-        return out;
 
     unsigned workers =
         threads_ ? threads_
                  : std::max(1u, std::thread::hardware_concurrency());
     workers = static_cast<unsigned>(
-        std::min<std::size_t>(workers, n));
+        std::min<std::size_t>(std::max<std::size_t>(workers, 1), n));
+
+    if (telemetry)
+        *telemetry = EngineTelemetry{};
+    if (n == 0)
+        return out;
+    if (telemetry) {
+        telemetry->workers = workers;
+        telemetry->workerBusyMs.assign(workers, 0.0);
+    }
+
+    using clock_type = std::chrono::steady_clock;
+    const auto engine_t0 = clock_type::now();
+    const auto ms_since = [engine_t0](clock_type::time_point t) {
+        return std::chrono::duration<double, std::milli>(t - engine_t0)
+            .count();
+    };
 
     std::size_t completed = 0;
     std::mutex progress_mutex;
@@ -142,9 +172,18 @@ ExperimentEngine::run(const ExperimentPlan &plan) const
     if (workers == 1) {
         // Inline serial path: no threads, same results by construction.
         for (std::size_t i = 0; i < n; ++i) {
+            const double queued = ms_since(clock_type::now());
             out[i] = runJob(plan[i], i);
+            out[i].queueMs = queued;
+            out[i].worker = 0;
+            if (telemetry) {
+                telemetry->busyMs += out[i].wallMs;
+                telemetry->workerBusyMs[0] += out[i].wallMs;
+            }
             report(i);
         }
+        if (telemetry)
+            telemetry->wallMs = ms_since(clock_type::now());
         return out;
     }
 
@@ -204,7 +243,10 @@ ExperimentEngine::run(const ExperimentPlan &plan) const
                 continue;
             }
             try {
+                const double queued = ms_since(clock_type::now());
                 out[job] = runJob(plan[job], job);
+                out[job].queueMs = queued;
+                out[job].worker = w;
                 report(job);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
@@ -223,6 +265,14 @@ ExperimentEngine::run(const ExperimentPlan &plan) const
 
     if (first_error)
         std::rethrow_exception(first_error);
+
+    if (telemetry) {
+        telemetry->wallMs = ms_since(clock_type::now());
+        for (const auto &rec : out) {
+            telemetry->busyMs += rec.wallMs;
+            telemetry->workerBusyMs[rec.worker] += rec.wallMs;
+        }
+    }
     return out;
 }
 

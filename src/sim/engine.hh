@@ -27,6 +27,7 @@
 #include "common/config.hh"
 #include "llc/organization.hh"
 #include "sim/system.hh"
+#include "telemetry/timeline.hh"
 #include "workload/profile.hh"
 
 namespace sac {
@@ -51,6 +52,12 @@ struct ExperimentJob
     std::uint64_t seed = 1;
     /** Display label ("CFD/sac"); defaulted by ExperimentPlan::add. */
     std::string label;
+    /**
+     * Timeline/event-trace options for this job's System. Disabled by
+     * default; timelines contain only simulated-time data, so enabling
+     * them never perturbs the measurements.
+     */
+    telemetry::Options telemetry;
 };
 
 /**
@@ -80,6 +87,13 @@ class ExperimentPlan
         const std::vector<OrgKind> &orgs = allOrganizations(),
         std::uint64_t seed = 1);
 
+    /**
+     * Applies @p opts to every job already in the plan and to jobs
+     * added later (a job whose own options are already enabled keeps
+     * them).
+     */
+    ExperimentPlan &enableTelemetry(const telemetry::Options &opts);
+
     const std::vector<ExperimentJob> &jobs() const { return jobs_; }
     std::size_t size() const { return jobs_.size(); }
     bool empty() const { return jobs_.empty(); }
@@ -87,6 +101,7 @@ class ExperimentPlan
 
   private:
     std::vector<ExperimentJob> jobs_;
+    telemetry::Options telemetryDefault_;
 };
 
 /** Outcome of one job: the measurements plus engine bookkeeping. */
@@ -100,6 +115,34 @@ struct RunRecord
     RunResult result;
     /** Wall-clock time this job took on its worker, milliseconds. */
     double wallMs = 0.0;
+    /** Time the job sat queued before a worker picked it up, ms. */
+    double queueMs = 0.0;
+    /** Worker that executed the job (0 on the serial path). */
+    unsigned worker = 0;
+};
+
+/**
+ * Job-level engine telemetry for one run(): how long the plan took,
+ * how busy the workers were and how the work spread across them.
+ * Wall-clock only — nothing here feeds back into simulation results.
+ */
+struct EngineTelemetry
+{
+    unsigned workers = 0;
+    /** run() entry to last job completion, milliseconds. */
+    double wallMs = 0.0;
+    /** Sum of per-job wall times (total compute demand), ms. */
+    double busyMs = 0.0;
+    /** Busy time per worker, ms; size == workers. */
+    std::vector<double> workerBusyMs;
+
+    /** busyMs / (workers * wallMs): 1.0 = perfectly packed pool. */
+    double utilization() const
+    {
+        return workers && wallMs > 0.0
+                   ? busyMs / (static_cast<double>(workers) * wallMs)
+                   : 0.0;
+    }
 };
 
 /** Progress callback payload: fired once per completed job. */
@@ -146,8 +189,11 @@ class ExperimentEngine
      * Executes every job and returns records in plan order.
      * A job that throws (bad configuration, simulator panic)
      * rethrows the first such exception after the pool drains.
+     * When @p telemetry is non-null it is filled with the run's
+     * job-level engine telemetry.
      */
-    std::vector<RunRecord> run(const ExperimentPlan &plan) const;
+    std::vector<RunRecord> run(const ExperimentPlan &plan,
+                               EngineTelemetry *telemetry = nullptr) const;
 
     /** Runs a single job on the calling thread. */
     static RunRecord runJob(const ExperimentJob &job, std::size_t index = 0);

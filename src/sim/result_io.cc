@@ -1,354 +1,42 @@
 #include "sim/result_io.hh"
 
-#include <cctype>
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
-#include <map>
 #include <ostream>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/log.hh"
+#include "telemetry/export.hh"
 
 namespace sac::result_io {
 namespace {
 
-// --- writing ----------------------------------------------------------
-
-std::string
-jsonString(const std::string &s)
-{
-    std::string out = "\"";
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-    return out;
-}
-
-std::string
-jsonNumber(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.*g",
-                  std::numeric_limits<double>::max_digits10, v);
-    return buf;
-}
-
-std::string
-jsonNumber(std::uint64_t v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
-    return buf;
-}
-
-/** Streams an object/array one field at a time with the commas. */
-class Builder
-{
-  public:
-    explicit Builder(char open) { text += open; }
-
-    Builder &field(const std::string &key, std::string value)
-    {
-        sep();
-        text += jsonString(key) + ":" + std::move(value);
-        return *this;
-    }
-
-    Builder &item(std::string value)
-    {
-        sep();
-        text += std::move(value);
-        return *this;
-    }
-
-    std::string close(char c)
-    {
-        text += c;
-        return std::move(text);
-    }
-
-  private:
-    void sep()
-    {
-        if (!first)
-            text += ',';
-        first = false;
-    }
-
-    std::string text;
-    bool first = true;
-};
+using json::Builder;
+using json::Value;
 
 std::string
 decisionToJson(const SacDecision &d)
 {
     Builder eab('{');
-    eab.field("memLocal", jsonNumber(d.eab.memSide.local))
-        .field("memRemote", jsonNumber(d.eab.memSide.remote))
-        .field("smLocal", jsonNumber(d.eab.smSide.local))
-        .field("smRemote", jsonNumber(d.eab.smSide.remote));
+    eab.field("memLocal", json::number(d.eab.memSide.local))
+        .field("memRemote", json::number(d.eab.memSide.remote))
+        .field("smLocal", json::number(d.eab.smSide.local))
+        .field("smRemote", json::number(d.eab.smSide.remote));
 
     Builder in('{');
-    in.field("rLocal", jsonNumber(d.inputs.rLocal))
-        .field("lsuMem", jsonNumber(d.inputs.lsuMem))
-        .field("lsuSm", jsonNumber(d.inputs.lsuSm))
-        .field("hitMem", jsonNumber(d.inputs.hitMem))
-        .field("hitSm", jsonNumber(d.inputs.hitSm));
+    in.field("rLocal", json::number(d.inputs.rLocal))
+        .field("lsuMem", json::number(d.inputs.lsuMem))
+        .field("lsuSm", json::number(d.inputs.lsuSm))
+        .field("hitMem", json::number(d.inputs.hitMem))
+        .field("hitSm", json::number(d.inputs.hitSm));
 
     Builder b('{');
-    b.field("kernel", jsonNumber(static_cast<std::uint64_t>(
+    b.field("kernel", json::number(static_cast<std::uint64_t>(
                 static_cast<unsigned>(d.kernel))))
-        .field("chosen", jsonString(toString(d.chosen)))
+        .field("chosen", json::escape(toString(d.chosen)))
         .field("eab", eab.close('}'))
         .field("inputs", in.close('}'));
     return b.close('}');
 }
-
-// --- parsing ----------------------------------------------------------
-
-/** Minimal JSON value tree; numbers keep their raw spelling so the
- *  caller chooses integer or double conversion without loss. */
-struct Value
-{
-    enum class Type { Null, Bool, Number, String, Array, Object };
-    Type type = Type::Null;
-    bool boolean = false;
-    std::string text; // raw token for Number, decoded for String
-    std::vector<Value> array;
-    std::map<std::string, Value> object;
-
-    bool has(const std::string &key) const
-    {
-        return object.find(key) != object.end();
-    }
-    const Value &at(const std::string &key) const
-    {
-        const auto it = object.find(key);
-        if (it == object.end())
-            fatal("results JSON: missing key '", key, "'");
-        return it->second;
-    }
-    std::uint64_t asU64() const
-    {
-        require(Type::Number, "number");
-        return std::strtoull(text.c_str(), nullptr, 10);
-    }
-    double asDouble() const
-    {
-        require(Type::Number, "number");
-        return std::strtod(text.c_str(), nullptr);
-    }
-    const std::string &asString() const
-    {
-        require(Type::String, "string");
-        return text;
-    }
-    void require(Type t, const char *what) const
-    {
-        if (type != t)
-            fatal("results JSON: expected a ", what);
-    }
-};
-
-class Parser
-{
-  public:
-    explicit Parser(const std::string &text) : text_(text) {}
-
-    Value parse()
-    {
-        const Value v = value();
-        skipWs();
-        if (pos != text_.size())
-            fail("trailing content");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void fail(const std::string &why) const
-    {
-        fatal("results JSON: ", why, " at offset ", pos);
-    }
-
-    void skipWs()
-    {
-        while (pos < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos])))
-            ++pos;
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (pos >= text_.size())
-            fail("unexpected end of input");
-        return text_[pos];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos;
-    }
-
-    Value value()
-    {
-        switch (peek()) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': case 'f': return boolean();
-          case 'n': return null();
-          default: return number();
-        }
-    }
-
-    Value object()
-    {
-        expect('{');
-        Value v;
-        v.type = Value::Type::Object;
-        if (peek() == '}') {
-            ++pos;
-            return v;
-        }
-        for (;;) {
-            const Value key = string();
-            expect(':');
-            v.object.emplace(key.text, value());
-            if (peek() == ',') {
-                ++pos;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    Value array()
-    {
-        expect('[');
-        Value v;
-        v.type = Value::Type::Array;
-        if (peek() == ']') {
-            ++pos;
-            return v;
-        }
-        for (;;) {
-            v.array.push_back(value());
-            if (peek() == ',') {
-                ++pos;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    Value string()
-    {
-        expect('"');
-        Value v;
-        v.type = Value::Type::String;
-        while (pos < text_.size()) {
-            const char c = text_[pos++];
-            if (c == '"')
-                return v;
-            if (c != '\\') {
-                v.text += c;
-                continue;
-            }
-            if (pos >= text_.size())
-                fail("dangling escape");
-            const char e = text_[pos++];
-            switch (e) {
-              case '"': v.text += '"'; break;
-              case '\\': v.text += '\\'; break;
-              case '/': v.text += '/'; break;
-              case 'n': v.text += '\n'; break;
-              case 't': v.text += '\t'; break;
-              case 'r': v.text += '\r'; break;
-              case 'b': v.text += '\b'; break;
-              case 'f': v.text += '\f'; break;
-              case 'u': {
-                if (pos + 4 > text_.size())
-                    fail("truncated \\u escape");
-                const unsigned code = static_cast<unsigned>(std::strtoul(
-                    text_.substr(pos, 4).c_str(), nullptr, 16));
-                pos += 4;
-                // We only ever emit \u00XX control characters; wider
-                // code points degrade to '?' rather than mis-decoding.
-                v.text += code < 0x80 ? static_cast<char>(code) : '?';
-                break;
-              }
-              default: fail("unknown escape");
-            }
-        }
-        fail("unterminated string");
-    }
-
-    Value number()
-    {
-        skipWs();
-        Value v;
-        v.type = Value::Type::Number;
-        const std::size_t start = pos;
-        while (pos < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos])) ||
-                text_[pos] == '-' || text_[pos] == '+' ||
-                text_[pos] == '.' || text_[pos] == 'e' ||
-                text_[pos] == 'E'))
-            ++pos;
-        if (pos == start)
-            fail("expected a value");
-        v.text = text_.substr(start, pos - start);
-        return v;
-    }
-
-    Value boolean()
-    {
-        Value v;
-        v.type = Value::Type::Bool;
-        if (text_.compare(pos, 4, "true") == 0) {
-            v.boolean = true;
-            pos += 4;
-        } else if (text_.compare(pos, 5, "false") == 0) {
-            pos += 5;
-        } else {
-            fail("expected a boolean");
-        }
-        return v;
-    }
-
-    Value null()
-    {
-        if (text_.compare(pos, 4, "null") != 0)
-            fail("expected null");
-        pos += 4;
-        return Value{};
-    }
-
-    const std::string &text_;
-    std::size_t pos = 0;
-};
 
 LlcMode
 llcModeFromName(const std::string &name)
@@ -407,6 +95,9 @@ runResultFromValue(const Value &v)
     r.flushStallCycles = v.at("flushStallCycles").asU64();
     for (const auto &d : v.at("sacDecisions").array)
         r.sacDecisions.push_back(decisionFromValue(d));
+    // v2 addition; absent from v1 documents and telemetry-less runs.
+    if (v.has("timeline"))
+        r.timeline = telemetry::timelineFromValue(v.at("timeline"));
     return r;
 }
 
@@ -419,6 +110,11 @@ recordFromValue(const Value &v)
     rec.benchmark = v.at("benchmark").asString();
     rec.seed = v.at("seed").asU64();
     rec.wallMs = v.at("wallMs").asDouble();
+    // v2 engine bookkeeping; v1 records default them.
+    if (v.has("queueMs"))
+        rec.queueMs = v.at("queueMs").asDouble();
+    if (v.has("worker"))
+        rec.worker = static_cast<unsigned>(v.at("worker").asU64());
     rec.result = runResultFromValue(v.at("result"));
     return rec;
 }
@@ -430,36 +126,38 @@ toJson(const RunResult &r)
 {
     Builder cycles('[');
     for (const auto c : r.kernelCycles)
-        cycles.item(jsonNumber(c));
+        cycles.item(json::number(c));
 
     Builder decisions('[');
     for (const auto &d : r.sacDecisions)
         decisions.item(decisionToJson(d));
 
     Builder b('{');
-    b.field("organization", jsonString(r.organization))
-        .field("cycles", jsonNumber(r.cycles))
+    b.field("organization", json::escape(r.organization))
+        .field("cycles", json::number(r.cycles))
         .field("kernelCycles", cycles.close(']'))
-        .field("accesses", jsonNumber(r.accesses))
-        .field("l1Hits", jsonNumber(r.l1Hits))
-        .field("l1Misses", jsonNumber(r.l1Misses))
-        .field("llcRequests", jsonNumber(r.llcRequests))
-        .field("llcHits", jsonNumber(r.llcHits))
-        .field("effLlcBw", jsonNumber(r.effLlcBw))
-        .field("bwLocalLlc", jsonNumber(r.bwLocalLlc))
-        .field("bwRemoteLlc", jsonNumber(r.bwRemoteLlc))
-        .field("bwLocalMem", jsonNumber(r.bwLocalMem))
-        .field("bwRemoteMem", jsonNumber(r.bwRemoteMem))
-        .field("llcRemoteFraction", jsonNumber(r.llcRemoteFraction))
-        .field("avgLoadLatency", jsonNumber(r.avgLoadLatency))
-        .field("icnBytes", jsonNumber(r.icnBytes))
-        .field("dramBytes", jsonNumber(r.dramBytes))
-        .field("invalidations", jsonNumber(r.invalidations))
+        .field("accesses", json::number(r.accesses))
+        .field("l1Hits", json::number(r.l1Hits))
+        .field("l1Misses", json::number(r.l1Misses))
+        .field("llcRequests", json::number(r.llcRequests))
+        .field("llcHits", json::number(r.llcHits))
+        .field("effLlcBw", json::number(r.effLlcBw))
+        .field("bwLocalLlc", json::number(r.bwLocalLlc))
+        .field("bwRemoteLlc", json::number(r.bwRemoteLlc))
+        .field("bwLocalMem", json::number(r.bwLocalMem))
+        .field("bwRemoteMem", json::number(r.bwRemoteMem))
+        .field("llcRemoteFraction", json::number(r.llcRemoteFraction))
+        .field("avgLoadLatency", json::number(r.avgLoadLatency))
+        .field("icnBytes", json::number(r.icnBytes))
+        .field("dramBytes", json::number(r.dramBytes))
+        .field("invalidations", json::number(r.invalidations))
         .field("reconfigurations",
-               jsonNumber(static_cast<std::uint64_t>(
+               json::number(static_cast<std::uint64_t>(
                    static_cast<unsigned>(r.reconfigurations))))
-        .field("flushStallCycles", jsonNumber(r.flushStallCycles))
+        .field("flushStallCycles", json::number(r.flushStallCycles))
         .field("sacDecisions", decisions.close(']'));
+    if (r.timeline)
+        b.field("timeline", telemetry::toJson(*r.timeline));
     return b.close('}');
 }
 
@@ -470,16 +168,19 @@ toJson(const std::vector<RunRecord> &records)
     for (const auto &rec : records) {
         Builder b('{');
         b.field("jobIndex",
-                jsonNumber(static_cast<std::uint64_t>(rec.jobIndex)))
-            .field("label", jsonString(rec.label))
-            .field("benchmark", jsonString(rec.benchmark))
-            .field("seed", jsonNumber(rec.seed))
-            .field("wallMs", jsonNumber(rec.wallMs))
+                json::number(static_cast<std::uint64_t>(rec.jobIndex)))
+            .field("label", json::escape(rec.label))
+            .field("benchmark", json::escape(rec.benchmark))
+            .field("seed", json::number(rec.seed))
+            .field("wallMs", json::number(rec.wallMs))
+            .field("queueMs", json::number(rec.queueMs))
+            .field("worker",
+                   json::number(static_cast<std::uint64_t>(rec.worker)))
             .field("result", toJson(rec.result));
         results.item(b.close('}'));
     }
     Builder doc('{');
-    doc.field("schema", jsonString("sac.results.v1"))
+    doc.field("schema", json::escape("sac.results.v2"))
         .field("results", results.close(']'));
     return doc.close('}');
 }
@@ -493,16 +194,18 @@ write(std::ostream &os, const std::vector<RunRecord> &records)
 RunResult
 runResultFromJson(const std::string &text)
 {
-    return runResultFromValue(Parser(text).parse());
+    return runResultFromValue(json::parse(text));
 }
 
 std::vector<RunRecord>
 fromJson(const std::string &text)
 {
-    const Value doc = Parser(text).parse();
-    if (!doc.has("schema") ||
-        doc.at("schema").asString() != "sac.results.v1")
-        fatal("results JSON: not a sac.results.v1 document");
+    const Value doc = json::parse(text);
+    if (!doc.has("schema"))
+        fatal("results JSON: not a sac.results document");
+    const std::string &schema = doc.at("schema").asString();
+    if (schema != "sac.results.v1" && schema != "sac.results.v2")
+        fatal("results JSON: unsupported schema '", schema, "'");
     std::vector<RunRecord> out;
     for (const auto &v : doc.at("results").array)
         out.push_back(recordFromValue(v));

@@ -7,16 +7,22 @@
  * read and write the same document:
  *
  *   {
- *     "schema": "sac.results.v1",
+ *     "schema": "sac.results.v2",
  *     "results": [ { "label": ..., "benchmark": ..., "seed": ...,
- *                    "wallMs": ..., "result": { ...RunResult... } } ]
+ *                    "wallMs": ..., "queueMs": ..., "worker": ...,
+ *                    "result": { ...RunResult..., "timeline": {...}? } } ]
  *   }
+ *
+ * v2 adds the engine bookkeeping fields (queueMs, worker) and embeds
+ * the telemetry timeline inside "result" when the run sampled one.
+ * The reader still accepts sac.results.v1 documents: the added fields
+ * simply default.
  *
  * Serialization is lossless: integers are written verbatim and
  * doubles with max_digits10 precision, so a write/read round trip
  * reproduces every counter bit-for-bit (the determinism tests rely
- * on this). No external JSON dependency — the subset emitted here is
- * parsed by a ~150-line recursive-descent reader.
+ * on this). No external JSON dependency — reading and writing go
+ * through common/json.hh.
  */
 
 #ifndef SAC_SIM_RESULT_IO_HH
@@ -34,20 +40,20 @@ namespace sac::result_io {
 /** Serializes one RunResult as a JSON object. */
 std::string toJson(const RunResult &result);
 
-/** Serializes records (plan order) as a sac.results.v1 document. */
+/** Serializes records (plan order) as a sac.results.v2 document. */
 std::string toJson(const std::vector<RunRecord> &records);
 
-/** Writes the sac.results.v1 document to @p os. */
+/** Writes the sac.results.v2 document to @p os. */
 void write(std::ostream &os, const std::vector<RunRecord> &records);
 
 /** Parses a RunResult from the output of toJson(RunResult). */
 RunResult runResultFromJson(const std::string &text);
 
-/** Parses a sac.results.v1 document. Throws FatalError on malformed
- *  input or a schema mismatch. */
+/** Parses a sac.results document (v1 or v2). Throws FatalError on
+ *  malformed input or an unsupported schema. */
 std::vector<RunRecord> fromJson(const std::string &text);
 
-/** Reads a sac.results.v1 document from @p is. */
+/** Reads a sac.results document (v1 or v2) from @p is. */
 std::vector<RunRecord> read(std::istream &is);
 
 } // namespace sac::result_io

@@ -5,23 +5,25 @@
 namespace sac {
 
 std::vector<RunRecord>
-Runner::run(const ExperimentPlan &plan) const
+Runner::run(const ExperimentPlan &plan, EngineTelemetry *telemetry) const
 {
     ExperimentEngine engine(options_.jobs);
     if (options_.progress)
         engine.onProgress(options_.progress);
-    return engine.run(plan);
+    return engine.run(plan, telemetry);
 }
 
 RunResult
 Runner::runOne(const WorkloadProfile &profile, const GpuConfig &cfg,
-               OrgKind kind, std::uint64_t seed) const
+               OrgKind kind, std::uint64_t seed,
+               const telemetry::Options &telemetry) const
 {
     ExperimentJob job;
     job.profile = profile;
     job.config = cfg;
     job.org = kind;
     job.seed = seed;
+    job.telemetry = telemetry;
     return ExperimentEngine::runJob(job).result;
 }
 
@@ -36,23 +38,6 @@ Runner::runOrganizations(const WorkloadProfile &profile,
     out.reserve(plan.size());
     for (auto &rec : run(plan))
         out.push_back(std::move(rec.result));
-    return out;
-}
-
-RunResult
-Runner::run(const WorkloadProfile &profile, const GpuConfig &cfg,
-            OrgKind kind, std::uint64_t seed)
-{
-    return Runner().runOne(profile, cfg, kind, seed);
-}
-
-std::map<OrgKind, RunResult>
-Runner::runAll(const WorkloadProfile &profile, const GpuConfig &cfg,
-               std::uint64_t seed)
-{
-    std::map<OrgKind, RunResult> out;
-    for (const auto kind : ExperimentPlan::allOrganizations())
-        out.emplace(kind, Runner().runOne(profile, cfg, kind, seed));
     return out;
 }
 

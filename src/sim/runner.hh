@@ -17,16 +17,11 @@
  * Results come back in plan order and are bit-identical for any
  * worker count (each job is seeded independently); only the wall-time
  * fields vary between runs.
- *
- * The pre-engine static entry points (`Runner::run(profile, ...)`,
- * `Runner::runAll`) remain as thin deprecated shims for one release;
- * see docs/API.md for the migration table.
  */
 
 #ifndef SAC_SIM_RUNNER_HH
 #define SAC_SIM_RUNNER_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -65,18 +60,23 @@ class Runner
 
     /**
      * Executes @p plan on the session's worker pool; one record per
-     * job, in plan order.
+     * job, in plan order. When @p telemetry is non-null it receives
+     * the run's job-level engine telemetry (wall time, queue wait,
+     * worker utilization).
      */
-    std::vector<RunRecord> run(const ExperimentPlan &plan) const;
+    std::vector<RunRecord> run(const ExperimentPlan &plan,
+                               EngineTelemetry *telemetry = nullptr) const;
 
     /**
      * Runs @p profile (full-scale Table 4 sizes) on @p cfg under
      * @p kind on the calling thread. The data set is scaled by the
      * config's LLC ratio to the paper machine so data:capacity
-     * ratios are preserved.
+     * ratios are preserved. Pass @p telemetry to get a timeline back
+     * in the RunResult.
      */
     RunResult runOne(const WorkloadProfile &profile, const GpuConfig &cfg,
-                     OrgKind kind, std::uint64_t seed = 1) const;
+                     OrgKind kind, std::uint64_t seed = 1,
+                     const telemetry::Options &telemetry = {}) const;
 
     /**
      * Sweeps all five organizations (paper presentation order) and
@@ -86,21 +86,6 @@ class Runner
     std::vector<RunResult> runOrganizations(const WorkloadProfile &profile,
                                             const GpuConfig &cfg,
                                             std::uint64_t seed = 1) const;
-
-    // --- deprecated static shims (pre-engine API) ---------------------
-
-    /** @deprecated Use runOne() / run(plan) on a Runner instance. */
-    static RunResult run(const WorkloadProfile &profile,
-                         const GpuConfig &cfg, OrgKind kind,
-                         std::uint64_t seed = 1);
-
-    /**
-     * @deprecated Use runOrganizations(): the map loses the canonical
-     * presentation order and forces callers to re-map names.
-     */
-    static std::map<OrgKind, RunResult> runAll(
-        const WorkloadProfile &profile, const GpuConfig &cfg,
-        std::uint64_t seed = 1);
 
     /** Data-scale divisor matching @p cfg (paper LLC / cfg LLC). */
     static double dataScale(const GpuConfig &cfg);

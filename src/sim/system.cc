@@ -57,6 +57,46 @@ System::System(const GpuConfig &cfg, OrgKind kind, TraceSource &trace)
 System::~System() = default;
 
 void
+System::enableTelemetry(const telemetry::Options &opts)
+{
+    SAC_ASSERT(clock == 0, "enableTelemetry() must precede run()");
+    telemetryOpts_ = opts;
+    if (opts.epoch > 0) {
+        sampler_ = std::make_unique<telemetry::Sampler>(opts.epoch,
+                                                        cfg_.interChipBw);
+    }
+    if (opts.events)
+        eventTrace_ = std::make_unique<telemetry::EventTrace>();
+}
+
+telemetry::Counters
+System::counterTotals() const
+{
+    telemetry::Counters t;
+    const auto [req, hits] = llcTotals();
+    t.llcRequests = req;
+    t.llcHits = hits;
+    const auto origin = [&](ResponseOrigin o) {
+        return respByOrigin[static_cast<std::size_t>(o)];
+    };
+    t.respLocalLlc = origin(ResponseOrigin::LocalLlc);
+    t.respRemoteLlc = origin(ResponseOrigin::RemoteLlc);
+    t.respLocalMem = origin(ResponseOrigin::LocalMem);
+    t.respRemoteMem = origin(ResponseOrigin::RemoteMem);
+    t.icnBytes = icn.bytesTransferred();
+    t.icnBySrc = icn.bytesBySource();
+    for (const auto &chip : chips)
+        t.dramBytes += chip->memCtrl().bytesServed();
+    return t;
+}
+
+std::string
+System::currentModeName() const
+{
+    return sacOrg ? toString(sacOrg->mode()) : org->name();
+}
+
+void
 System::injectMiss(Packet &&pkt, Cycle now)
 {
     const ChipId home = pages.touch(pkt.lineAddr, pkt.srcChip);
@@ -185,6 +225,8 @@ System::launchKernel(const KernelDescriptor &kernel)
     kernelStart = clock;
 
     currentKernel = kernel.index;
+    if (eventTrace_)
+        eventTrace_->kernelBegin(kernel.index, kernel.name, clock);
     if (controller)
         startProfiling();
     if (dynCtrl) {
@@ -212,6 +254,9 @@ System::startProfiling()
         for (auto &chip : chips)
             chip->pauseClusters(done);
         result.flushStallCycles += done - clock;
+        if (eventTrace_)
+            eventTrace_->flush(currentKernel, clock, done - clock,
+                               "re-profile");
     }
     controller->beginKernel(currentKernel, clock);
     const auto [req, hits] = llcTotals();
@@ -234,6 +279,22 @@ System::closeProfilingWindow()
         dreq ? static_cast<double>(dhits) / static_cast<double>(dreq) : 0.0;
     const SacDecision d = controller->endWindow(hit_rate, clock);
     result.sacDecisions.push_back(d);
+    if (eventTrace_) {
+        eventTrace_->windowClose(
+            currentKernel, clock, toString(d.chosen),
+            {{"eabMem", d.eab.memSide.total()},
+             {"eabSm", d.eab.smSide.total()},
+             {"eabMemLocal", d.eab.memSide.local},
+             {"eabMemRemote", d.eab.memSide.remote},
+             {"eabSmLocal", d.eab.smSide.local},
+             {"eabSmRemote", d.eab.smSide.remote},
+             {"rLocal", d.inputs.rLocal},
+             {"lsuMem", d.inputs.lsuMem},
+             {"lsuSm", d.inputs.lsuSm},
+             {"hitMem", d.inputs.hitMem},
+             {"hitSm", d.inputs.hitSm},
+             {"windowHitRate", hit_rate}});
+    }
 
     if (d.chosen == LlcMode::SmSide) {
         // Reconfiguration: drain in-flight requests, write back and
@@ -243,6 +304,12 @@ System::closeProfilingWindow()
         for (auto &chip : chips)
             chip->pauseClusters(done);
         result.flushStallCycles += done - clock;
+        if (eventTrace_) {
+            eventTrace_->reconfigure(currentKernel, clock,
+                                     toString(LlcMode::SmSide));
+            eventTrace_->flush(currentKernel, clock, done - clock,
+                               "reconfigure");
+        }
     }
 }
 
@@ -294,6 +361,9 @@ System::flushLlc(bool replicas_only)
 void
 System::finishKernel()
 {
+    if (eventTrace_)
+        eventTrace_->kernelEnd(currentKernel, clock, clock - kernelStart);
+
     // Software coherence: L1s flush at every kernel boundary; the LLC
     // is flushed when the active organization replicated remote data.
     for (auto &chip : chips)
@@ -306,6 +376,9 @@ System::finishKernel()
                                    org->kind() == OrgKind::DynamicLlc;
         const Cycle done = flushLlc(replicas_only);
         result.flushStallCycles += done - clock;
+        if (eventTrace_)
+            eventTrace_->flush(currentKernel, clock, done - clock,
+                               "kernel-boundary");
         clock = std::max(clock, done);
     }
     if (coherence.kind() == CoherenceKind::Hardware) {
@@ -326,7 +399,11 @@ System::dynamicEpochUpdate()
         traffic.interChipBytes = chipIcnInBytes[idx] - chipIcnSnapshot[idx];
         chipDramSnapshot[idx] = chip->memCtrl().bytesServed();
         chipIcnSnapshot[idx] = chipIcnInBytes[idx];
-        chip->setWaySplit(dynCtrl->update(chip->id(), traffic));
+        const int before = dynCtrl->localWays(chip->id());
+        const int after = dynCtrl->update(chip->id(), traffic);
+        chip->setWaySplit(after);
+        if (eventTrace_ && after != before)
+            eventTrace_->wayMove(chip->id(), clock, before, after);
     }
     lastEpoch = clock;
 }
@@ -424,6 +501,10 @@ System::run(const std::vector<KernelDescriptor> &kernels)
         launchKernel(kernel);
         while (!allDone()) {
             tick();
+            if (sampler_ && sampler_->due(clock)) {
+                sampler_->sample(counterTotals(), clock, kernel.index,
+                                 currentModeName());
+            }
             if (windowOpen && !windowMidTaken &&
                 (clock >= windowMid ||
                  controller->profiler().totalRequests() >=
@@ -501,6 +582,21 @@ System::run(const std::vector<KernelDescriptor> &kernels)
         occupancySamples ? occupancyRemoteSum /
                                static_cast<double>(occupancySamples)
                          : 0.0;
+
+    if (telemetryOpts_.enabled()) {
+        telemetry::Timeline t;
+        t.epoch = telemetryOpts_.epoch;
+        if (sampler_) {
+            // Close the partial tail epoch (flush stalls may have
+            // advanced the clock past the last sample boundary).
+            sampler_->finish(counterTotals(), clock, kernels.back().index,
+                             currentModeName());
+            t.samples = sampler_->take();
+        }
+        if (eventTrace_)
+            t.events = eventTrace_->take();
+        result.timeline = std::move(t);
+    }
     return result;
 }
 

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@
 #include "noc/interchip.hh"
 #include "sac/controller.hh"
 #include "sim/chip.hh"
+#include "telemetry/event_trace.hh"
+#include "telemetry/sampler.hh"
 
 namespace sac {
 
@@ -65,6 +68,12 @@ struct RunResult
     /** SAC only: per-kernel mode decisions. */
     std::vector<SacDecision> sacDecisions;
 
+    /**
+     * Epoch samples and trace events; engaged only when the run was
+     * started with telemetry enabled (System::enableTelemetry).
+     */
+    std::optional<telemetry::Timeline> timeline;
+
     double llcMissRate() const
     {
         return llcRequests
@@ -98,6 +107,13 @@ class System : public ClusterEnv, public ChipHooks
 
     /** Executes the kernel sequence to completion. */
     RunResult run(const std::vector<KernelDescriptor> &kernels);
+
+    /**
+     * Turns on timeline sampling and/or event tracing for the coming
+     * run; call before run(). When never called the telemetry path
+     * costs one null pointer check per tick and allocates nothing.
+     */
+    void enableTelemetry(const telemetry::Options &opts);
 
     /** Advances one cycle (exposed for fine-grained tests). */
     void tick();
@@ -146,6 +162,10 @@ class System : public ClusterEnv, public ChipHooks
     Cycle flushLlc(bool replicas_only);
     void dynamicEpochUpdate();
     void sampleOccupancy();
+    /** Current counter totals in the Sampler's input shape. */
+    telemetry::Counters counterTotals() const;
+    /** Mode tag for a sample: SAC's live mode, else the org name. */
+    std::string currentModeName() const;
 
     GpuConfig cfg_;
     AddressMap map;
@@ -186,6 +206,11 @@ class System : public ClusterEnv, public ChipHooks
 
     // Fig. 10 response accounting.
     std::array<std::uint64_t, 5> respByOrigin{};
+
+    // Telemetry (null unless enableTelemetry() was called).
+    telemetry::Options telemetryOpts_;
+    std::unique_ptr<telemetry::Sampler> sampler_;
+    std::unique_ptr<telemetry::EventTrace> eventTrace_;
 
     RunResult result;
 };

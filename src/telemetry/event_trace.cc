@@ -1,0 +1,107 @@
+#include "telemetry/event_trace.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace sac::telemetry {
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::KernelBegin: return "kernel-begin";
+      case EventKind::KernelEnd: return "kernel-end";
+      case EventKind::WindowClose: return "window-close";
+      case EventKind::Reconfigure: return "reconfigure";
+      case EventKind::Flush: return "flush";
+      case EventKind::WayMove: return "way-move";
+    }
+    panic("unknown EventKind ", static_cast<int>(kind));
+}
+
+EventKind
+eventKindFromName(const std::string &name)
+{
+    for (const EventKind kind :
+         {EventKind::KernelBegin, EventKind::KernelEnd,
+          EventKind::WindowClose, EventKind::Reconfigure, EventKind::Flush,
+          EventKind::WayMove}) {
+        if (name == toString(kind))
+            return kind;
+    }
+    fatal("unknown trace event kind '", name, "'");
+}
+
+void
+EventTrace::kernelBegin(int kernel, const std::string &name, Cycle now)
+{
+    TraceEvent e;
+    e.kind = EventKind::KernelBegin;
+    e.cycle = now;
+    e.kernel = kernel;
+    e.label = name;
+    record(std::move(e));
+}
+
+void
+EventTrace::kernelEnd(int kernel, Cycle now, Cycle length)
+{
+    TraceEvent e;
+    e.kind = EventKind::KernelEnd;
+    e.cycle = now;
+    e.duration = length;
+    e.kernel = kernel;
+    record(std::move(e));
+}
+
+void
+EventTrace::windowClose(int kernel, Cycle now, const std::string &chosen,
+                        std::vector<std::pair<std::string, double>> args)
+{
+    TraceEvent e;
+    e.kind = EventKind::WindowClose;
+    e.cycle = now;
+    e.kernel = kernel;
+    e.label = chosen;
+    e.args = std::move(args);
+    record(std::move(e));
+}
+
+void
+EventTrace::reconfigure(int kernel, Cycle now, const std::string &mode)
+{
+    TraceEvent e;
+    e.kind = EventKind::Reconfigure;
+    e.cycle = now;
+    e.kernel = kernel;
+    e.label = mode;
+    record(std::move(e));
+}
+
+void
+EventTrace::flush(int kernel, Cycle now, Cycle duration,
+                  const std::string &why)
+{
+    TraceEvent e;
+    e.kind = EventKind::Flush;
+    e.cycle = now;
+    e.duration = duration;
+    e.kernel = kernel;
+    e.label = why;
+    record(std::move(e));
+}
+
+void
+EventTrace::wayMove(ChipId chip, Cycle now, int before, int after)
+{
+    TraceEvent e;
+    e.kind = EventKind::WayMove;
+    e.cycle = now;
+    e.chip = chip;
+    e.args = {{"before", static_cast<double>(before)},
+              {"after", static_cast<double>(after)}};
+    record(std::move(e));
+}
+
+} // namespace sac::telemetry

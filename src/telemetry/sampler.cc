@@ -1,0 +1,66 @@
+#include "telemetry/sampler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace sac::telemetry {
+
+Sampler::Sampler(Cycle epoch, double per_chip_egress_bw)
+    : epoch_(epoch), chipEgressBw_(per_chip_egress_bw), nextAt_(epoch)
+{
+    SAC_ASSERT(epoch > 0, "sampler epoch must be positive");
+    SAC_ASSERT(per_chip_egress_bw > 0.0, "sampler needs the egress budget");
+}
+
+void
+Sampler::sample(const Counters &totals, Cycle now, int kernel,
+                const std::string &mode)
+{
+    SAC_ASSERT(now > lastAt_, "sample interval is empty");
+
+    EpochSample s;
+    s.start = lastAt_;
+    s.end = now;
+    s.kernel = kernel;
+    s.mode = mode;
+    s.llcRequests = totals.llcRequests - prev_.llcRequests;
+    s.llcHits = totals.llcHits - prev_.llcHits;
+    s.respLocalLlc = totals.respLocalLlc - prev_.respLocalLlc;
+    s.respRemoteLlc = totals.respRemoteLlc - prev_.respRemoteLlc;
+    s.respLocalMem = totals.respLocalMem - prev_.respLocalMem;
+    s.respRemoteMem = totals.respRemoteMem - prev_.respRemoteMem;
+    s.icnBytes = totals.icnBytes - prev_.icnBytes;
+    s.dramBytes = totals.dramBytes - prev_.dramBytes;
+
+    const double cycles = static_cast<double>(now - lastAt_);
+    const auto chips = totals.icnBySrc.size();
+    if (chips > 0) {
+        s.linkUtilization =
+            static_cast<double>(s.icnBytes) /
+            (cycles * chipEgressBw_ * static_cast<double>(chips));
+        std::uint64_t peak = 0;
+        for (std::size_t c = 0; c < chips; ++c) {
+            const std::uint64_t base =
+                c < prev_.icnBySrc.size() ? prev_.icnBySrc[c] : 0;
+            peak = std::max(peak, totals.icnBySrc[c] - base);
+        }
+        s.peakLinkUtilization =
+            static_cast<double>(peak) / (cycles * chipEgressBw_);
+    }
+
+    samples_.push_back(std::move(s));
+    prev_ = totals;
+    lastAt_ = now;
+    nextAt_ = now + epoch_;
+}
+
+void
+Sampler::finish(const Counters &totals, Cycle now, int kernel,
+                const std::string &mode)
+{
+    if (now > lastAt_)
+        sample(totals, now, kernel, mode);
+}
+
+} // namespace sac::telemetry

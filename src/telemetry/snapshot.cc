@@ -1,0 +1,89 @@
+#include "telemetry/snapshot.hh"
+
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace sac::telemetry {
+
+Snapshot
+Snapshot::capture(const stats::StatGroup &root, Cycle now)
+{
+    Snapshot snap;
+    snap.cycle_ = now;
+    root.forEach([&snap](const std::string &path, const stats::Stat &stat) {
+        snap.values_.emplace_back(path, stat.value());
+    });
+    return snap;
+}
+
+const double *
+Snapshot::find(const std::string &path) const
+{
+    for (const auto &[name, value] : values_) {
+        if (name == path)
+            return &value;
+    }
+    return nullptr;
+}
+
+double
+Snapshot::get(const std::string &path) const
+{
+    const double *v = find(path);
+    if (!v)
+        panic("snapshot has no stat '", path, "'");
+    return *v;
+}
+
+Delta
+Delta::between(const Snapshot &before, const Snapshot &after)
+{
+    SAC_ASSERT(before.cycle() <= after.cycle(),
+               "delta endpoints out of order");
+    Delta d;
+    d.from_ = before.cycle();
+    d.to_ = after.cycle();
+
+    std::unordered_map<std::string, double> base;
+    base.reserve(before.size());
+    for (const auto &[name, value] : before.values())
+        base.emplace(name, value);
+
+    d.values_.reserve(after.size());
+    for (const auto &[name, value] : after.values()) {
+        const auto it = base.find(name);
+        d.values_.emplace_back(name,
+                               it == base.end() ? value
+                                                : value - it->second);
+    }
+    return d;
+}
+
+const double *
+Delta::find(const std::string &path) const
+{
+    for (const auto &[name, value] : values_) {
+        if (name == path)
+            return &value;
+    }
+    return nullptr;
+}
+
+double
+Delta::get(const std::string &path) const
+{
+    const double *v = find(path);
+    if (!v)
+        panic("delta has no stat '", path, "'");
+    return *v;
+}
+
+double
+Delta::rate(const std::string &path) const
+{
+    const Cycle c = cycles();
+    return c ? get(path) / static_cast<double>(c) : 0.0;
+}
+
+} // namespace sac::telemetry

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Snapshot/Delta: the point-in-time view of a stats::StatGroup tree.
+ *
+ * A Snapshot captures every stat's value (via StatGroup::forEach, so
+ * no text parsing) together with the cycle it was taken at; a Delta
+ * is the element-wise difference of two snapshots of the same tree.
+ * This is the substrate the epoch Sampler's idea generalizes to any
+ * component: capture at two cycles, diff, and you have "what happened
+ * in between" for every counter at once.
+ *
+ *   auto a = Snapshot::capture(root, now());
+ *   ... simulate ...
+ *   auto b = Snapshot::capture(root, now());
+ *   Delta d = Delta::between(a, b);
+ *   double hits_this_window = d.get("system.chip0.llcHits");
+ */
+
+#ifndef SAC_TELEMETRY_SNAPSHOT_HH
+#define SAC_TELEMETRY_SNAPSHOT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sac::telemetry {
+
+/** All stat values of a group tree at one cycle, in forEach order. */
+class Snapshot
+{
+  public:
+    /** Captures every stat under @p root at cycle @p now. */
+    static Snapshot capture(const stats::StatGroup &root, Cycle now);
+
+    Cycle cycle() const { return cycle_; }
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    /** (dotted path, value) pairs in deterministic forEach order. */
+    const std::vector<std::pair<std::string, double>> &values() const
+    {
+        return values_;
+    }
+
+    /** Value of @p path, or nullptr when the snapshot lacks it. */
+    const double *find(const std::string &path) const;
+
+    /** Value of @p path; panics when absent. */
+    double get(const std::string &path) const;
+
+  private:
+    Cycle cycle_ = 0;
+    std::vector<std::pair<std::string, double>> values_;
+};
+
+/** after - before, per stat, for two snapshots of the same tree. */
+class Delta
+{
+  public:
+    /**
+     * Diffs @p after against @p before. Stats present only in @p
+     * after (components added between captures) diff against zero;
+     * stats present only in @p before are dropped.
+     */
+    static Delta between(const Snapshot &before, const Snapshot &after);
+
+    Cycle fromCycle() const { return from_; }
+    Cycle toCycle() const { return to_; }
+    Cycle cycles() const { return to_ - from_; }
+    std::size_t size() const { return values_.size(); }
+
+    const std::vector<std::pair<std::string, double>> &values() const
+    {
+        return values_;
+    }
+
+    const double *find(const std::string &path) const;
+    double get(const std::string &path) const;
+
+    /** get(path) / cycles(): the per-cycle rate over the interval. */
+    double rate(const std::string &path) const;
+
+  private:
+    Cycle from_ = 0;
+    Cycle to_ = 0;
+    std::vector<std::pair<std::string, double>> values_;
+};
+
+} // namespace sac::telemetry
+
+#endif // SAC_TELEMETRY_SNAPSHOT_HH

@@ -106,6 +106,40 @@ TEST(Stats, DumpContainsNamesValuesAndDescriptions)
     EXPECT_NE(text.find("retired instructions"), std::string::npos);
 }
 
+TEST(Stats, ForEachVisitsQualifiedPathsInDumpOrder)
+{
+    StatGroup root("sys");
+    StatGroup chip("chip0");
+    Counter b("beta", "");
+    Counter a("alpha", "");
+    Counter h("hits", "");
+    root.add(b);
+    root.add(a); // registered after b; visited first (name order)
+    chip.add(h);
+    root.addChild(chip);
+    ++a;
+    h += 3;
+
+    std::vector<std::pair<std::string, double>> seen;
+    root.forEach([&](const std::string &path, const Stat &stat) {
+        seen.emplace_back(path, stat.value());
+    });
+
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].first, "sys.alpha");
+    EXPECT_EQ(seen[0].second, 1.0);
+    EXPECT_EQ(seen[1].first, "sys.beta");
+    EXPECT_EQ(seen[2].first, "sys.chip0.hits");
+    EXPECT_EQ(seen[2].second, 3.0);
+
+    // dump() is implemented on forEach(); same entries, same order.
+    std::ostringstream os;
+    root.dump(os);
+    const auto text = os.str();
+    EXPECT_LT(text.find("sys.alpha"), text.find("sys.beta"));
+    EXPECT_LT(text.find("sys.beta"), text.find("sys.chip0.hits"));
+}
+
 TEST(Stats, GetUnknownPanics)
 {
     StatGroup g("g");

@@ -153,18 +153,6 @@ TEST(ExperimentEngine, BadJobConfigurationPropagates)
     EXPECT_THROW(ExperimentEngine(2).run(plan), FatalError);
 }
 
-TEST(Runner, InstanceApiMatchesStaticShims)
-{
-    const auto cfg = tinyConfig();
-    const auto p = tinyProfile("RN");
-
-    const Runner runner;
-    const auto via_instance = runner.runOne(p, cfg, OrgKind::SmSide, 1);
-    const auto via_shim = Runner::run(p, cfg, OrgKind::SmSide, 1);
-    EXPECT_EQ(result_io::toJson(via_instance),
-              result_io::toJson(via_shim));
-}
-
 TEST(Runner, RunOrganizationsIsOrdered)
 {
     const auto results =
@@ -176,13 +164,77 @@ TEST(Runner, RunOrganizationsIsOrdered)
         EXPECT_EQ(results[i].organization, toString(orgs[i]));
         EXPECT_GT(results[i].cycles, 0u);
     }
+}
 
-    // The deprecated map API returns the same measurements, keyed.
-    const auto mapped = Runner::runAll(tinyProfile("RN"), tinyConfig(), 1);
-    ASSERT_EQ(mapped.size(), results.size());
-    for (std::size_t i = 0; i < orgs.size(); ++i) {
-        EXPECT_EQ(result_io::toJson(mapped.at(orgs[i])),
-                  result_io::toJson(results[i]));
+TEST(Telemetry, TimelineAbsentByDefault)
+{
+    const auto rec = ExperimentEngine::runJob(
+        {tinyProfile("RN"), tinyConfig(), OrgKind::Sac, 1, "RN/sac"});
+    EXPECT_FALSE(rec.result.timeline.has_value());
+}
+
+TEST(ExperimentPlan, EnableTelemetryCoversExistingAndFutureJobs)
+{
+    const auto cfg = tinyConfig();
+    ExperimentPlan plan;
+    plan.add(tinyProfile("RN"), cfg, OrgKind::MemorySide);
+    plan.enableTelemetry({.epoch = 128, .events = true});
+    plan.add(tinyProfile("RN"), cfg, OrgKind::SmSide);
+    ASSERT_EQ(plan.size(), 2u);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(plan[i].telemetry.epoch, 128u) << i;
+        EXPECT_TRUE(plan[i].telemetry.events) << i;
+    }
+}
+
+TEST(Telemetry, TimelinesAreIdenticalAcrossWorkerCounts)
+{
+    auto plan = mixedPlan();
+    plan.enableTelemetry({.epoch = 256, .events = true});
+
+    // Timelines contain only simulated-time data, so the serialized
+    // results — timeline included — must stay byte-identical no
+    // matter how many workers ran the plan.
+    const auto serial = ExperimentEngine(1).run(plan);
+    ASSERT_EQ(serial.size(), plan.size());
+    std::vector<std::string> expected;
+    expected.reserve(serial.size());
+    for (const auto &rec : serial) {
+        ASSERT_TRUE(rec.result.timeline.has_value()) << rec.label;
+        EXPECT_FALSE(rec.result.timeline->samples.empty()) << rec.label;
+        EXPECT_FALSE(rec.result.timeline->events.empty()) << rec.label;
+        expected.push_back(result_io::toJson(rec.result));
+    }
+
+    for (const unsigned threads : {2u, 8u}) {
+        const auto parallel = ExperimentEngine(threads).run(plan);
+        ASSERT_EQ(parallel.size(), plan.size()) << threads;
+        for (std::size_t i = 0; i < parallel.size(); ++i) {
+            EXPECT_EQ(result_io::toJson(parallel[i].result),
+                      expected[i])
+                << "job " << i << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(ExperimentEngine, JobTelemetryIsPopulated)
+{
+    const auto plan = mixedPlan();
+    EngineTelemetry t;
+    const auto records = ExperimentEngine(2).run(plan, &t);
+
+    EXPECT_EQ(t.workers, 2u);
+    EXPECT_GT(t.wallMs, 0.0);
+    EXPECT_GT(t.busyMs, 0.0);
+    ASSERT_EQ(t.workerBusyMs.size(), 2u);
+    EXPECT_NEAR(t.workerBusyMs[0] + t.workerBusyMs[1], t.busyMs, 1e-9);
+    EXPECT_GT(t.utilization(), 0.0);
+    EXPECT_LE(t.utilization(), 1.0 + 1e-9);
+
+    for (const auto &rec : records) {
+        EXPECT_GE(rec.queueMs, 0.0);
+        EXPECT_LT(rec.worker, 2u);
+        EXPECT_GE(rec.wallMs, 0.0);
     }
 }
 

@@ -82,6 +82,8 @@ TEST(ResultIo, DocumentRoundTripsThroughStreams)
     a.benchmark = "RN";
     a.seed = 7;
     a.wallMs = 12.75;
+    a.queueMs = 1.5;
+    a.worker = 3;
     a.result = fullResult();
 
     RunRecord b;
@@ -101,6 +103,8 @@ TEST(ResultIo, DocumentRoundTripsThroughStreams)
     EXPECT_EQ(back[0].label, a.label);
     EXPECT_EQ(back[0].seed, 7u);
     EXPECT_EQ(back[0].wallMs, 12.75);
+    EXPECT_EQ(back[0].queueMs, 1.5);
+    EXPECT_EQ(back[0].worker, 3);
     EXPECT_EQ(result_io::toJson(back[0].result),
               result_io::toJson(a.result));
     EXPECT_EQ(back[1].benchmark, "GEMM");
@@ -126,6 +130,31 @@ TEST(ResultIo, ParsesInsignificantWhitespace)
     const std::string json =
         "{ \"schema\" : \"sac.results.v1\" ,\n \"results\" : [ ] }";
     EXPECT_TRUE(result_io::fromJson(json).empty());
+}
+
+TEST(ResultIo, WriterEmitsV2AndReaderAcceptsHandWrittenV1)
+{
+    RunRecord rec;
+    rec.label = "RN/SAC";
+    rec.benchmark = "RN";
+    rec.result = fullResult();
+    const std::string json = result_io::toJson({rec});
+    EXPECT_NE(json.find("\"schema\":\"sac.results.v2\""),
+              std::string::npos);
+
+    // A pre-telemetry v1 document: no queueMs/worker on the record,
+    // no timeline inside the result. The reader fills the defaults.
+    std::string v1 = json;
+    const std::string v2_tag = "\"schema\":\"sac.results.v2\"";
+    v1.replace(v1.find(v2_tag), v2_tag.size(),
+               "\"schema\":\"sac.results.v1\"");
+    const auto back = result_io::fromJson(v1);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].label, "RN/SAC");
+    EXPECT_EQ(back[0].queueMs, 0.0);
+    EXPECT_EQ(back[0].worker, 0);
+    EXPECT_FALSE(back[0].result.timeline.has_value());
+    EXPECT_EQ(back[0].result.cycles, rec.result.cycles);
 }
 
 } // namespace

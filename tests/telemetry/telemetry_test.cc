@@ -1,0 +1,408 @@
+/** @file Tests for the telemetry subsystem: snapshots, the epoch
+ *  sampler, event traces and the three export formats. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "sim/result_io.hh"
+#include "sim/runner.hh"
+#include "telemetry/event_trace.hh"
+#include "telemetry/export.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/snapshot.hh"
+#include "workload/suite.hh"
+
+namespace sac {
+namespace {
+
+using telemetry::Counters;
+using telemetry::EventKind;
+using telemetry::EventTrace;
+using telemetry::Sampler;
+using telemetry::Timeline;
+using telemetry::TraceEvent;
+
+// --- Snapshot / Delta -------------------------------------------------
+
+struct StatFixture
+{
+    stats::StatGroup root{"system"};
+    stats::StatGroup chip{"chip0"};
+    stats::Counter hits{"hits", "LLC hits"};
+    stats::Scalar cycles{"cycles", "simulated cycles"};
+
+    StatFixture()
+    {
+        root.add(cycles);
+        chip.add(hits);
+        root.addChild(chip);
+    }
+};
+
+TEST(Snapshot, CapturesEveryStatWithQualifiedPaths)
+{
+    StatFixture f;
+    f.cycles = 100.0;
+    f.hits += 7;
+
+    const auto snap = telemetry::Snapshot::capture(f.root, 100);
+    EXPECT_EQ(snap.cycle(), 100u);
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap.get("system.cycles"), 100.0);
+    EXPECT_EQ(snap.get("system.chip0.hits"), 7.0);
+    EXPECT_EQ(snap.find("system.chip0.misses"), nullptr);
+}
+
+TEST(Snapshot, DeltaDiffsAndRates)
+{
+    StatFixture f;
+    f.hits += 10;
+    const auto before = telemetry::Snapshot::capture(f.root, 1000);
+    f.hits += 40;
+    const auto after = telemetry::Snapshot::capture(f.root, 1200);
+
+    const auto d = telemetry::Delta::between(before, after);
+    EXPECT_EQ(d.fromCycle(), 1000u);
+    EXPECT_EQ(d.toCycle(), 1200u);
+    EXPECT_EQ(d.cycles(), 200u);
+    EXPECT_EQ(d.get("system.chip0.hits"), 40.0);
+    EXPECT_DOUBLE_EQ(d.rate("system.chip0.hits"), 0.2);
+}
+
+TEST(Snapshot, DeltaTreatsNewStatsAsStartingFromZero)
+{
+    StatFixture f;
+    const auto before = telemetry::Snapshot::capture(f.root, 0);
+
+    stats::Counter late("late", "registered between captures");
+    late += 5;
+    f.root.add(late);
+    const auto after = telemetry::Snapshot::capture(f.root, 10);
+
+    const auto d = telemetry::Delta::between(before, after);
+    EXPECT_EQ(d.get("system.late"), 5.0);
+}
+
+TEST(StatGroup, ForEachMatchesDumpOrder)
+{
+    StatFixture f;
+    std::vector<std::string> paths;
+    f.root.forEach([&](const std::string &path, const stats::Stat &) {
+        paths.push_back(path);
+    });
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_EQ(paths[0], "system.cycles");
+    EXPECT_EQ(paths[1], "system.chip0.hits");
+
+    std::ostringstream os;
+    f.root.dump(os);
+    const std::string text = os.str();
+    EXPECT_LT(text.find("system.cycles"), text.find("system.chip0.hits"));
+}
+
+// --- Sampler ----------------------------------------------------------
+
+Counters
+countersAt(std::uint64_t scale)
+{
+    Counters c;
+    c.llcRequests = 100 * scale;
+    c.llcHits = 80 * scale;
+    c.respLocalLlc = 50 * scale;
+    c.respRemoteLlc = 20 * scale;
+    c.respLocalMem = 15 * scale;
+    c.respRemoteMem = 5 * scale;
+    c.icnBytes = 1024 * scale;
+    c.dramBytes = 2048 * scale;
+    c.icnBySrc = {256 * scale, 768 * scale};
+    return c;
+}
+
+TEST(Sampler, ProducesPerEpochDeltas)
+{
+    Sampler s(256, 8.0);
+    EXPECT_FALSE(s.due(255));
+    EXPECT_TRUE(s.due(256));
+
+    s.sample(countersAt(1), 256, 0, "memory-side");
+    s.sample(countersAt(3), 512, 0, "SM-side");
+
+    const auto &samples = s.samples();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[0].start, 0u);
+    EXPECT_EQ(samples[0].end, 256u);
+    EXPECT_EQ(samples[0].llcRequests, 100u);
+    EXPECT_EQ(samples[0].mode, "memory-side");
+
+    // Second sample sees only the delta, not the running totals.
+    EXPECT_EQ(samples[1].start, 256u);
+    EXPECT_EQ(samples[1].llcRequests, 200u);
+    EXPECT_EQ(samples[1].llcHits, 160u);
+    EXPECT_EQ(samples[1].icnBytes, 2048u);
+    EXPECT_EQ(samples[1].mode, "SM-side");
+    EXPECT_DOUBLE_EQ(samples[1].llcHitRate(), 0.8);
+
+    // Aggregate: 2048 bytes / (256 cycles * 8 B/cycle * 2 chips).
+    EXPECT_DOUBLE_EQ(samples[1].linkUtilization, 0.5);
+    // Peak chip moved 1536 bytes: 1536 / (256 * 8).
+    EXPECT_DOUBLE_EQ(samples[1].peakLinkUtilization, 0.75);
+}
+
+TEST(Sampler, FinishDropsZeroLengthTail)
+{
+    Sampler s(256, 8.0);
+    s.sample(countersAt(1), 256, 0, "m");
+    s.finish(countersAt(1), 256, 0, "m");
+    EXPECT_EQ(s.samples().size(), 1u);
+
+    s.finish(countersAt(2), 300, 0, "m");
+    ASSERT_EQ(s.samples().size(), 2u);
+    EXPECT_EQ(s.samples()[1].start, 256u);
+    EXPECT_EQ(s.samples()[1].end, 300u);
+}
+
+// --- EventTrace -------------------------------------------------------
+
+TEST(EventTrace, RecordsTypedEvents)
+{
+    EventTrace t;
+    t.kernelBegin(0, "CFD-k0", 10);
+    t.windowClose(0, 500, "SM-side", {{"eabMem", 1.5}, {"eabSm", 2.5}});
+    t.reconfigure(0, 500, "SM-side");
+    t.flush(0, 500, 120, "reconfigure");
+    t.wayMove(1, 800, 8, 6);
+    t.kernelEnd(0, 900, 890);
+
+    ASSERT_EQ(t.size(), 6u);
+    const auto &e = t.events();
+    EXPECT_EQ(e[0].kind, EventKind::KernelBegin);
+    EXPECT_EQ(e[0].label, "CFD-k0");
+    EXPECT_EQ(e[1].args.size(), 2u);
+    EXPECT_EQ(e[3].duration, 120u);
+    EXPECT_EQ(e[4].chip, 1);
+    EXPECT_EQ(e[4].args[0].second, 8.0);
+    EXPECT_EQ(e[5].duration, 890u);
+}
+
+TEST(EventTrace, KindNamesRoundTrip)
+{
+    for (const auto kind :
+         {EventKind::KernelBegin, EventKind::KernelEnd,
+          EventKind::WindowClose, EventKind::Reconfigure,
+          EventKind::Flush, EventKind::WayMove}) {
+        EXPECT_EQ(telemetry::eventKindFromName(toString(kind)), kind);
+    }
+    EXPECT_THROW(telemetry::eventKindFromName("bogus"), FatalError);
+}
+
+// --- export: lossless JSON -------------------------------------------
+
+Timeline
+sampleTimeline()
+{
+    Sampler s(256, 8.0);
+    s.sample(countersAt(1), 256, 0, "memory-side");
+    s.sample(countersAt(3), 512, 1, "SM-side");
+
+    EventTrace t;
+    t.kernelBegin(0, "k\"quoted\"", 0);
+    t.windowClose(0, 200, "SM-side", {{"eabMem", 1.25}, {"eabSm", 2.5}});
+    t.kernelEnd(0, 256, 256);
+
+    Timeline tl;
+    tl.epoch = 256;
+    tl.samples = s.take();
+    tl.events = t.take();
+    return tl;
+}
+
+TEST(Export, TimelineJsonRoundTripsByteForByte)
+{
+    const Timeline tl = sampleTimeline();
+    const std::string text = telemetry::toJson(tl);
+    const Timeline back = telemetry::timelineFromJson(text);
+    EXPECT_EQ(telemetry::toJson(back), text);
+
+    EXPECT_EQ(back.epoch, tl.epoch);
+    ASSERT_EQ(back.samples.size(), tl.samples.size());
+    EXPECT_EQ(back.samples[1].llcRequests, tl.samples[1].llcRequests);
+    EXPECT_EQ(back.samples[1].mode, "SM-side");
+    ASSERT_EQ(back.events.size(), tl.events.size());
+    EXPECT_EQ(back.events[0].label, "k\"quoted\"");
+    EXPECT_EQ(back.events[1].args, tl.events[1].args);
+}
+
+TEST(Export, JsonlEmitsOneParsableObjectPerEvent)
+{
+    const Timeline tl = sampleTimeline();
+    std::ostringstream os;
+    telemetry::writeJsonl(os, tl, "CFD/sac");
+
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) {
+        const auto v = json::parse(line);
+        EXPECT_EQ(v.at("run").asString(), "CFD/sac");
+        EXPECT_NO_THROW(telemetry::eventKindFromName(
+            v.at("kind").asString()));
+        ++lines;
+    }
+    EXPECT_EQ(lines, tl.events.size());
+}
+
+// --- export: Chrome trace --------------------------------------------
+
+TEST(Export, ChromeTraceIsWellFormed)
+{
+    const Timeline tl = sampleTimeline();
+    std::ostringstream os;
+    telemetry::writeChromeTrace(os, tl, "CFD/sac");
+
+    const auto doc = json::parse(os.str());
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const auto &events = doc.at("traceEvents").array;
+    // metadata + 3 events + 2 samples * 4 counter tracks.
+    ASSERT_EQ(events.size(), 1u + 3u + 2u * 4u);
+
+    const std::set<std::string> phases = {"M", "B", "E", "X", "i", "C"};
+    for (const auto &e : events) {
+        EXPECT_TRUE(phases.count(e.at("ph").asString()))
+            << e.at("ph").asString();
+        EXPECT_FALSE(e.at("name").asString().empty());
+        if (e.at("ph").asString() != "M") {
+            EXPECT_GE(e.at("ts").asDouble(), 0.0);
+            EXPECT_GE(e.at("pid").asU64(), 0u);
+        }
+    }
+
+    // The process metadata names the run.
+    const auto &meta = events.front();
+    EXPECT_EQ(meta.at("ph").asString(), "M");
+    EXPECT_EQ(meta.at("args").at("name").asString(), "CFD/sac");
+
+    // Kernel begin/end become a balanced B/E span pair.
+    std::size_t begins = 0;
+    std::size_t ends = 0;
+    for (const auto &e : events) {
+        if (e.at("ph").asString() == "B")
+            ++begins;
+        if (e.at("ph").asString() == "E")
+            ++ends;
+    }
+    EXPECT_EQ(begins, 1u);
+    EXPECT_EQ(ends, 1u);
+}
+
+// --- end-to-end through a real run -----------------------------------
+
+GpuConfig
+tinyConfig()
+{
+    GpuConfig cfg = GpuConfig::scaled(8);
+    cfg.warpsPerCluster = 4;
+    cfg.sac.profileWindow = 512;
+    cfg.sac.profileMinRequests = 400;
+    return cfg;
+}
+
+WorkloadProfile
+tinyProfile(const std::string &name)
+{
+    WorkloadProfile p = findBenchmark(name);
+    p.numKernels = 2;
+    for (auto &ph : p.phases)
+        ph.accessesPerWarp = 32;
+    return p;
+}
+
+TEST(Telemetry, SacRunProducesAnnotatedTimeline)
+{
+    const auto result = Runner().runOne(
+        tinyProfile("RN"), tinyConfig(), OrgKind::Sac, 1,
+        {.epoch = 256, .events = true});
+
+    ASSERT_TRUE(result.timeline.has_value());
+    const Timeline &tl = *result.timeline;
+    EXPECT_EQ(tl.epoch, 256u);
+    ASSERT_FALSE(tl.samples.empty());
+    ASSERT_FALSE(tl.events.empty());
+
+    // Samples cover the run in order and sum to the final counters.
+    std::uint64_t requests = 0;
+    Cycle prev_end = 0;
+    for (const auto &s : tl.samples) {
+        EXPECT_EQ(s.start, prev_end);
+        EXPECT_GT(s.end, s.start);
+        EXPECT_GE(s.linkUtilization, 0.0);
+        EXPECT_GE(s.peakLinkUtilization, s.linkUtilization);
+        EXPECT_FALSE(s.mode.empty());
+        prev_end = s.end;
+        requests += s.llcRequests;
+    }
+    EXPECT_EQ(prev_end, result.cycles);
+    EXPECT_EQ(requests, result.llcRequests);
+
+    // Every kernel produced a begin/end pair and a window close with
+    // the EAB numbers attached.
+    std::size_t begins = 0;
+    std::size_t closes = 0;
+    for (const auto &e : tl.events) {
+        if (e.kind == EventKind::KernelBegin)
+            ++begins;
+        if (e.kind == EventKind::WindowClose) {
+            ++closes;
+            std::set<std::string> keys;
+            for (const auto &[k, v] : e.args)
+                keys.insert(k);
+            EXPECT_TRUE(keys.count("eabMem"));
+            EXPECT_TRUE(keys.count("eabSm"));
+            EXPECT_TRUE(keys.count("hitMem"));
+        }
+    }
+    EXPECT_EQ(begins, 2u);
+    EXPECT_GE(closes, 2u);
+}
+
+TEST(Telemetry, ResultsV2RoundTripsTimelineAndStillReadsV1)
+{
+    ExperimentPlan plan;
+    plan.add(tinyProfile("RN"), tinyConfig(), OrgKind::Sac);
+    plan.enableTelemetry({.epoch = 256, .events = true});
+    const auto records = Runner().run(plan);
+    ASSERT_EQ(records.size(), 1u);
+    ASSERT_TRUE(records[0].result.timeline.has_value());
+
+    // v2 round trip, timeline included.
+    const std::string text = result_io::toJson(records);
+    EXPECT_NE(text.find("\"schema\":\"sac.results.v2\""),
+              std::string::npos);
+    const auto back = result_io::fromJson(text);
+    ASSERT_EQ(back.size(), 1u);
+    ASSERT_TRUE(back[0].result.timeline.has_value());
+    EXPECT_EQ(result_io::toJson(back), text);
+
+    // A v1 document (no timeline, no queueMs/worker) still parses.
+    auto v1_records = records;
+    v1_records[0].result.timeline.reset();
+    std::string v1 = result_io::toJson(v1_records);
+    const std::string v2_tag = "\"schema\":\"sac.results.v2\"";
+    v1.replace(v1.find(v2_tag), v2_tag.size(),
+               "\"schema\":\"sac.results.v1\"");
+    const auto old = result_io::fromJson(v1);
+    ASSERT_EQ(old.size(), 1u);
+    EXPECT_FALSE(old[0].result.timeline.has_value());
+    EXPECT_EQ(old[0].result.cycles, records[0].result.cycles);
+
+    EXPECT_THROW(result_io::fromJson(
+                     "{\"schema\":\"sac.results.v9\",\"results\":[]}"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace sac

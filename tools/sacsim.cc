@@ -5,12 +5,16 @@
  * Runs (workload, organization, configuration) experiments and prints
  * the results; the Swiss-army knife for exploring the design space
  * without writing C++. Organization sweeps execute in parallel
- * through the ExperimentEngine (--jobs), and results can be exported
- * as a sac.results.v1 JSON document (--json).
+ * through the ExperimentEngine (--jobs), results can be exported as a
+ * sac.results.v2 JSON document (--json), and runs can be traced:
+ * --timeline writes epoch-sampled timelines, --trace-events writes a
+ * Chrome trace (load it at https://ui.perfetto.dev) or, with a
+ * .jsonl path, a JSONL event stream.
  *
  *   sacsim --list
  *   sacsim --benchmark CFD --org sac
  *   sacsim --benchmark CFD --org all --jobs 4 --json cfd.json
+ *   sacsim --benchmark CFD --org sac --timeline t.json --trace-events e.json
  *   sacsim --benchmark GEMM --org mem,sac --scale 4 --input-scale 0.125
  *   sacsim --benchmark RN --org sm --coherence hw --sectors 4 --stats
  *   sacsim --benchmark SN --org sac --record sn.trace
@@ -24,11 +28,13 @@
 #include <optional>
 #include <string>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "sim/report.hh"
 #include "sim/result_io.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
+#include "telemetry/export.hh"
 #include "workload/suite.hh"
 #include "workload/trace_file.hh"
 #include "workload/tracegen.hh"
@@ -54,7 +60,21 @@ struct Options
     std::string recordPath;
     std::string tracePath;
     std::uint64_t apw = 0; // 0 = profile default
+    std::string timelinePath;
+    std::string traceEventsPath;
+    Cycle epoch = 0; // 0 = default (2048) when --timeline is given
 };
+
+/** Telemetry the requested outputs imply. */
+telemetry::Options
+telemetryOptions(const Options &o)
+{
+    telemetry::Options t;
+    if (!o.timelinePath.empty() || o.epoch > 0)
+        t.epoch = o.epoch > 0 ? o.epoch : 2048;
+    t.events = !o.traceEventsPath.empty();
+    return t;
+}
 
 [[noreturn]] void
 usage(int code)
@@ -82,7 +102,16 @@ usage(int code)
         "  --record FILE          record the generated trace to FILE\n"
         "  --trace FILE           replay FILE instead of a synthetic "
         "workload\n"
-        "  --stats                dump the full per-chip stats tree\n";
+        "  --stats                dump the full per-chip stats tree\n"
+        "  --timeline FILE        write epoch-sampled timelines "
+        "(sac.timeline.v1 JSON)\n"
+        "  --trace-events FILE    write simulation events as a Chrome "
+        "trace\n"
+        "                         (Perfetto-loadable; a .jsonl path "
+        "writes JSONL)\n"
+        "  --epoch N              telemetry sampling epoch in cycles\n"
+        "                         (default 2048 when --timeline is "
+        "given)\n";
     std::exit(code);
 }
 
@@ -169,6 +198,12 @@ parse(int argc, char **argv)
             o.tracePath = value();
         else if (arg == "--stats")
             o.stats = true;
+        else if (arg == "--timeline")
+            o.timelinePath = value();
+        else if (arg == "--trace-events")
+            o.traceEventsPath = value();
+        else if (arg == "--epoch")
+            o.epoch = std::stoull(value());
         else
             fatal("unknown option '", arg, "' (try --help)");
     }
@@ -219,6 +254,9 @@ runOne(const Options &o, const GpuConfig &cfg,
     TraceSource &trace = source ? *source : *gen;
 
     System system(cfg, kind, trace);
+    const auto topts = telemetryOptions(o);
+    if (topts.enabled())
+        system.enableTelemetry(topts);
     const auto result =
         system.run(kernelsFor(profile.scaledData(dataScale(cfg))));
     if (dump_stats)
@@ -275,6 +313,77 @@ printRecords(const Options &o, const std::vector<RunRecord> &records)
     }
 }
 
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    return out;
+}
+
+/**
+ * --timeline: one sac.timeline.v1 document holding every record's
+ * timeline (events included), keyed by the record label.
+ */
+void
+writeTimelines(const std::string &path,
+               const std::vector<RunRecord> &records)
+{
+    json::Builder timelines('[');
+    std::size_t written = 0;
+    for (const auto &rec : records) {
+        if (!rec.result.timeline)
+            continue;
+        json::Builder entry('{');
+        entry.field("label", json::escape(rec.label))
+            .field("timeline", telemetry::toJson(*rec.result.timeline));
+        timelines.item(entry.close('}'));
+        ++written;
+    }
+    json::Builder doc('{');
+    doc.field("schema", json::escape("sac.timeline.v1"))
+        .field("timelines", timelines.close(']'));
+
+    auto out = openOut(path);
+    out << doc.close('}') << "\n";
+    std::cerr << "wrote " << written << " timeline(s) to " << path << "\n";
+}
+
+/**
+ * --trace-events: a combined Chrome trace with one Perfetto process
+ * per record, or a JSONL event stream when the path ends in .jsonl.
+ */
+void
+writeTraceEvents(const std::string &path,
+                 const std::vector<RunRecord> &records)
+{
+    const bool jsonl = path.size() >= 6 &&
+                       path.compare(path.size() - 6, 6, ".jsonl") == 0;
+    auto out = openOut(path);
+    if (jsonl) {
+        for (const auto &rec : records) {
+            if (rec.result.timeline)
+                telemetry::writeJsonl(out, *rec.result.timeline,
+                                      rec.label);
+        }
+    } else {
+        json::Builder events('[');
+        int pid = 0;
+        for (const auto &rec : records) {
+            if (rec.result.timeline) {
+                telemetry::appendChromeEvents(events, *rec.result.timeline,
+                                              rec.label, pid++);
+            }
+        }
+        json::Builder doc('{');
+        doc.field("traceEvents", events.close(']'))
+            .field("displayTimeUnit", json::escape("ns"));
+        out << doc.close('}') << "\n";
+    }
+    std::cerr << "wrote trace events to " << path << "\n";
+}
+
 int
 run(const Options &o)
 {
@@ -304,6 +413,7 @@ run(const Options &o)
               << ") on " << cfg.summary() << "\n\n";
 
     const std::vector<OrgKind> kinds = parseOrgList(o.org);
+    const telemetry::Options topts = telemetryOptions(o);
     std::vector<RunRecord> records;
 
     if (needsSerialPath(o, kinds.size())) {
@@ -324,16 +434,30 @@ run(const Options &o)
     } else {
         ExperimentPlan plan;
         plan.addOrgSweep(profile, cfg, kinds, o.seed);
+        if (topts.enabled())
+            plan.enableTelemetry(topts);
         Runner::Options ropts;
         ropts.jobs = o.jobs;
         ropts.progress = [](const EngineProgress &p) {
             std::cerr << "  [" << p.completed << "/" << p.total << "] "
                       << p.job.label << "\n";
         };
-        records = Runner(ropts).run(plan);
+        EngineTelemetry engine_tm;
+        records = Runner(ropts).run(plan, &engine_tm);
+        if (engine_tm.workers > 1) {
+            std::cerr << "engine: " << engine_tm.workers << " workers, "
+                      << report::num(engine_tm.wallMs, 0) << " ms wall, "
+                      << report::percent(engine_tm.utilization())
+                      << " utilization\n";
+        }
     }
 
     printRecords(o, records);
+
+    if (!o.timelinePath.empty())
+        writeTimelines(o.timelinePath, records);
+    if (!o.traceEventsPath.empty())
+        writeTraceEvents(o.traceEventsPath, records);
     return 0;
 }
 
