@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Simulator throughput: simulated cycles per wall-clock second with
+ * the next-event fast-forward layer on versus the per-cycle reference
+ * loop, on the two workload shapes that bracket its behaviour:
+ *
+ *  - idle-heavy: few warps with long compute gaps, so most cycles
+ *    carry no work and the fast-forward layer jumps them wholesale;
+ *  - issue-bound: a full warp complement issuing back-to-back, so
+ *    there is nothing to skip and the run measures pure probe
+ *    overhead (the busy backoff keeps it in the noise).
+ *
+ * Results are asserted bit-identical between the two loops before any
+ * number is reported. Writes BENCH_throughput.json (path overridable
+ * via argv[1] or $SAC_BENCH_OUT) for CI perf tracking; see
+ * docs/PERFORMANCE.md for how to read it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "sim/engine.hh"
+#include "sim/system.hh"
+#include "workload/suite.hh"
+#include "workload/tracegen.hh"
+
+namespace {
+
+using namespace sac;
+
+/** One workload shape to measure. */
+struct Shape
+{
+    std::string name;
+    GpuConfig cfg;
+    WorkloadProfile profile;
+};
+
+/** Sparse events: two warps per cluster, long gaps between accesses. */
+Shape
+idleHeavy()
+{
+    Shape s;
+    s.name = "idle-heavy";
+    s.cfg = bench::defaultConfig();
+    s.cfg.warpsPerCluster = 2;
+    s.profile = findBenchmark("RN");
+    s.profile.numKernels = 1;
+    s.profile.phases[0].computeGap = 2000;
+    s.profile.phases[0].accessesPerWarp = 256;
+    return s;
+}
+
+/** Dense events: full warp complement, back-to-back accesses. */
+Shape
+issueBound()
+{
+    Shape s;
+    s.name = "issue-bound";
+    s.cfg = bench::defaultConfig();
+    s.profile = findBenchmark("RN");
+    s.profile.numKernels = 1;
+    s.profile.phases[0].computeGap = 0;
+    s.profile.phases[0].accessesPerWarp = 192;
+    return s;
+}
+
+/** One timed run of @p shape; fills the result for identity checks. */
+struct Measurement
+{
+    double wallSec = 0.0;
+    RunResult result;
+    System::FastForwardStats ff;
+};
+
+Measurement
+measure(const Shape &shape, bool fast_forward)
+{
+    GpuConfig cfg = shape.cfg;
+    cfg.validate();
+    const WorkloadProfile scaled = shape.profile.scaledData(dataScale(cfg));
+    SharingTraceGen gen(scaled, cfg, 1);
+    System system(cfg, OrgKind::MemorySide, gen);
+    system.setFastForward(fast_forward);
+
+    Measurement m;
+    const auto t0 = std::chrono::steady_clock::now();
+    m.result = system.run(kernelsFor(scaled));
+    m.wallSec = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    m.ff = system.fastForwardStats();
+    return m;
+}
+
+/** Best-of-N wall time; the result is identical across repetitions. */
+Measurement
+best(const Shape &shape, bool fast_forward, int reps)
+{
+    Measurement out = measure(shape, fast_forward);
+    for (int r = 1; r < reps; ++r) {
+        Measurement m = measure(shape, fast_forward);
+        if (m.wallSec < out.wallSec)
+            out = m;
+    }
+    return out;
+}
+
+double
+cyclesPerSec(const Measurement &m)
+{
+    return m.wallSec > 0.0 ? static_cast<double>(m.result.cycles) / m.wallSec
+                           : 0.0;
+}
+
+struct Row
+{
+    Shape shape;
+    Measurement ff;
+    Measurement ref;
+};
+
+std::string
+rowJson(const Row &row)
+{
+    const double ff_rate = cyclesPerSec(row.ff);
+    const double ref_rate = cyclesPerSec(row.ref);
+    json::Builder ff(json::Builder('{')
+                         .field("wallSec", json::number(row.ff.wallSec))
+                         .field("cyclesPerSec", json::number(ff_rate))
+                         .field("skips", json::number(row.ff.ff.skips))
+                         .field("skippedCycles",
+                                json::number(row.ff.ff.skippedCycles)));
+    return json::Builder('{')
+        .field("name", json::escape(row.shape.name))
+        .field("cycles", json::number(row.ff.result.cycles))
+        .field("accesses", json::number(row.ff.result.accesses))
+        .field("fastForward", ff.close('}'))
+        .field("reference",
+               json::Builder('{')
+                   .field("wallSec", json::number(row.ref.wallSec))
+                   .field("cyclesPerSec", json::number(ref_rate))
+                   .close('}'))
+        .field("speedup",
+               json::number(ref_rate > 0.0 ? ff_rate / ref_rate : 0.0))
+        .close('}');
+}
+
+void
+writeJson(const std::vector<Row> &rows, const std::string &path)
+{
+    json::Builder arr('[');
+    for (const auto &row : rows)
+        arr.item(rowJson(row));
+    const std::string doc = json::Builder('{')
+                                .field("schema",
+                                       json::escape("sac.bench.throughput.v1"))
+                                .field("workloads", arr.close(']'))
+                                .close('}');
+    std::ofstream os(path);
+    SAC_ASSERT(os.good(), "cannot write ", path);
+    os << doc << "\n";
+}
+
+void
+runThroughput(const std::string &out_path)
+{
+    report::banner(std::cout, "Simulator throughput: fast-forward vs "
+                              "per-cycle reference");
+
+    const int reps = 3;
+    std::vector<Row> rows;
+    for (const Shape &shape : {idleHeavy(), issueBound()}) {
+        std::cerr << "  measuring " << shape.name << " ...\n";
+        Row row{shape, best(shape, true, reps), best(shape, false, reps)};
+        // The whole point of the layer: same results, less wall time.
+        SAC_ASSERT(row.ff.result.cycles == row.ref.result.cycles,
+                   "cycle count diverged under fast-forward");
+        SAC_ASSERT(row.ff.result.accesses == row.ref.result.accesses,
+                   "access count diverged under fast-forward");
+        SAC_ASSERT(row.ff.result.avgLoadLatency ==
+                       row.ref.result.avgLoadLatency,
+                   "load latency diverged under fast-forward");
+        rows.push_back(row);
+    }
+
+    report::Table t({"workload", "sim cycles", "ref Mcyc/s", "ff Mcyc/s",
+                     "speedup", "skipped %"});
+    for (const auto &row : rows) {
+        const double skipped =
+            row.ff.result.cycles
+                ? 100.0 * static_cast<double>(row.ff.ff.skippedCycles) /
+                      static_cast<double>(row.ff.result.cycles)
+                : 0.0;
+        t.addRow({row.shape.name, std::to_string(row.ff.result.cycles),
+                  report::num(cyclesPerSec(row.ref) / 1e6, 2),
+                  report::num(cyclesPerSec(row.ff) / 1e6, 2),
+                  report::num(cyclesPerSec(row.ff) /
+                                  cyclesPerSec(row.ref),
+                              2),
+                  report::num(skipped, 1)});
+    }
+    t.print(std::cout);
+
+    writeJson(rows, out_path);
+    std::cout << "\nwrote " << out_path << "\n";
+}
+
+/** Micro: one advance() on an idle system (probe + skip machinery). */
+void
+BM_AdvanceIdle(benchmark::State &state)
+{
+    const Shape shape = idleHeavy();
+    GpuConfig cfg = shape.cfg;
+    cfg.validate();
+    const WorkloadProfile scaled = shape.profile.scaledData(dataScale(cfg));
+    SharingTraceGen gen(scaled, cfg, 1);
+    System sys(cfg, OrgKind::MemorySide, gen);
+    for (ChipId c = 0; c < cfg.numChips; ++c)
+        sys.chip(c).beginKernel(100000, 0);
+    for (int i = 0; i < 2000; ++i)
+        sys.tick(); // warm up
+    for (auto _ : state)
+        sys.advance();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdvanceIdle);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_throughput.json";
+    if (const char *env = std::getenv("SAC_BENCH_OUT"))
+        out = env;
+    if (argc > 1 && argv[1][0] != '-')
+        out = argv[1];
+    runThroughput(out);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -42,7 +42,7 @@ SetAssocCache::findLine(Addr line_addr)
     const Addr tag = line_addr >> lineShift;
     CacheLine *base = &lines[set * static_cast<std::uint64_t>(numWays)];
     for (int w = 0; w < numWays; ++w) {
-        if (base[w].valid && (base[w].lineAddr >> lineShift) == tag)
+        if (base[w].valid && base[w].tag == tag)
             return &base[w];
     }
     return nullptr;
@@ -127,6 +127,7 @@ SetAssocCache::insert(Addr line_addr, unsigned sector, ChipId home,
     slot.valid = true;
     slot.dirty = dirty;
     slot.lineAddr = line_addr;
+    slot.tag = line_addr >> lineShift;
     slot.home = home;
     slot.sectorValid = sectorsPerLine == 1 ? 1u : bit;
     slot.sectorDirty = dirty ? slot.sectorValid : 0u;

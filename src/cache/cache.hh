@@ -37,6 +37,13 @@ struct CacheLine
     bool valid = false;
     bool dirty = false;
     Addr lineAddr = 0;
+    /**
+     * Precomputed lineAddr >> lineShift, maintained by insert(). Tag
+     * probes compare against this directly so findLine does not
+     * redo the shift for every way on every lookup (the hottest loop
+     * in the simulator — every L1 and LLC access walks it).
+     */
+    Addr tag = 0;
     /** Home chip of the line (writeback destination for replicas). */
     ChipId home = invalidChip;
     /** Bitmask of valid sectors (all set for conventional caches). */

@@ -35,6 +35,14 @@ using ChannelId = int;
 /** Sentinel for "no chip" / unrouted. */
 constexpr ChipId invalidChip = -1;
 
+/**
+ * Sentinel "no pending event" for the next-event fast-forward
+ * protocol: a component with nothing scheduled reports cycleNever
+ * from its nextEventCycle() and the minimum over all components
+ * decides how far the clock may jump.
+ */
+constexpr Cycle cycleNever = ~static_cast<Cycle>(0);
+
 /** A gibibyte-per-second at 1 GHz equals one byte per cycle. */
 constexpr double bytesPerCyclePerGBs = 1.0;
 

@@ -12,6 +12,7 @@
 #ifndef SAC_GPU_SM_CLUSTER_HH
 #define SAC_GPU_SM_CLUSTER_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -83,6 +84,24 @@ class SmCluster
 
     /** Pauses issue until @p until (reconfiguration drain). */
     void pauseUntil(Cycle until) { pausedUntil = until; }
+
+    /**
+     * Earliest cycle this cluster might issue an access: now when a
+     * warp is ready (even if it would stall — the stall-resolving
+     * fill is another component's event), else the earliest pending
+     * wake, both clamped to the pause window. cycleNever when every
+     * warp is blocked or retired; blocked warps are woken by
+     * responses, which are response-crossbar events.
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        if (sched.hasReady())
+            return std::max(now, pausedUntil);
+        const Cycle wake = sched.nextPendingCycle();
+        if (wake == cycleNever)
+            return cycleNever;
+        return std::max({now, wake, pausedUntil});
+    }
 
     const ClusterStats &stats() const { return stats_; }
     void resetStats() { stats_ = ClusterStats{}; }

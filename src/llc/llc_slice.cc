@@ -128,6 +128,32 @@ LlcSlice::tick(Cycle now, SliceEnv &env)
     }
 }
 
+Cycle
+LlcSlice::nextEventCycle(Cycle now, const SliceEnv &env,
+                         Cycle mem_next) const
+{
+    if (!fillQ.empty())
+        return now;
+    Cycle next = cycleNever;
+    if (!missQ.empty()) {
+        next = env.memCanAccept(missQ.front().lineAddr) ? now : mem_next;
+    }
+    next = std::min(next, inQ.nextEventCycle(now));
+    next = std::min(next, vcQ.nextEventCycle(now));
+    return next;
+}
+
+void
+LlcSlice::skipIdleCycles(Cycle cycles)
+{
+    inQ.skipIdleCycles(cycles);
+    vcQ.skipIdleCycles(cycles);
+    // The array budget saturates at its cap exactly like a BwQueue's.
+    const double cap = 2.0 * arrayBw;
+    for (Cycle i = 0; i < cycles && budget != cap; ++i)
+        budget = std::min(budget + arrayBw, cap);
+}
+
 void
 LlcSlice::processRequest(Packet pkt, Cycle now, SliceEnv &env)
 {

@@ -94,6 +94,21 @@ class LlcSlice
     /** Processes fills and requests for one cycle. */
     void tick(Cycle now, SliceEnv &env);
 
+    /**
+     * Earliest cycle this slice might do work. Pending fills are
+     * work now; a blocked miss queue retries when the memory
+     * controller frees a slot (@p mem_next, the controller's next
+     * completion); the input queues follow the BwQueue contract.
+     * MSHR-full head-of-line stalls deliberately report "now": the
+     * unblocking fill is someone else's event, and a ready head
+     * simply disables skipping until it drains (conservative, exact).
+     */
+    Cycle nextEventCycle(Cycle now, const SliceEnv &env,
+                         Cycle mem_next) const;
+
+    /** Replays @p cycles idle refills (input queues + array budget). */
+    void skipIdleCycles(Cycle cycles);
+
     /** Tag/state array (flush and partition control live here). */
     SetAssocCache &cache() { return array; }
     const SetAssocCache &cache() const { return array; }

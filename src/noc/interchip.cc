@@ -1,5 +1,7 @@
 #include "noc/interchip.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace sac {
@@ -58,6 +60,28 @@ InterChipNet::receive(ChipId dst, Packet &out, Cycle now)
     out.nocDst = invalidChip;
     q.pop_front();
     return true;
+}
+
+Cycle
+InterChipNet::nextEventCycle(Cycle now) const
+{
+    Cycle next = cycleNever;
+    for (const auto &q : egress)
+        next = std::min(next, q.nextEventCycle(now));
+    for (const auto &q : inbox) {
+        // Arrival times are monotonic within an inbox (packets are
+        // enqueued in tick order), so the front is the earliest.
+        if (!q.empty())
+            next = std::min(next, std::max(q.front().at, now));
+    }
+    return next;
+}
+
+void
+InterChipNet::skipIdleCycles(Cycle cycles)
+{
+    for (auto &q : egress)
+        q.skipIdleCycles(cycles);
 }
 
 std::size_t

@@ -69,6 +69,35 @@ BwQueue::tryPop(Packet &out, Cycle now)
     return true;
 }
 
+Cycle
+BwQueue::nextEventCycle(Cycle now) const
+{
+    if (q.empty())
+        return cycleNever;
+    const Entry &head = q.front();
+    if (head.readyAt > now)
+        return head.readyAt;
+    // A tick at `now` refills the budget (beginCycle) before draining,
+    // so the head goes out at `now` unless even the refilled budget
+    // stays non-positive. In that debt case `now + 1` is still
+    // conservative — the skip replays the missed refill — never late.
+    if (budget + bw <= 0.0)
+        return now + 1;
+    return now;
+}
+
+void
+BwQueue::skipIdleCycles(Cycle cycles)
+{
+    // Identical to `cycles` beginCycle() calls: each step is the same
+    // add-then-clamp, and once the budget reaches the cap (the exact
+    // double 2.0 * bw) further refills are no-ops, so the loop is
+    // bounded by the debt being repaid, not by the skip length.
+    const double cap = 2.0 * bw;
+    for (Cycle i = 0; i < cycles && budget != cap; ++i)
+        budget = std::min(budget + bw, cap);
+}
+
 void
 BwQueue::setBandwidth(double bytes_per_cycle)
 {

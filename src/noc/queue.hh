@@ -67,6 +67,34 @@ class BwQueue
     /** Consumes the head previously returned by peekReady(). */
     void popHead();
 
+    /**
+     * Earliest cycle at which this queue might drain a packet, for
+     * the fast-forward protocol:
+     *
+     *  - empty queue: cycleNever (nothing will ever happen without a
+     *    push, and pushes are events of the producer);
+     *  - head still in latency: its readyAt (budget refills during
+     *    the skip are replayed exactly by skipIdleCycles);
+     *  - head ready but no credit: now + 1 (debt is repaid one
+     *    refill per cycle; never skip while repaying);
+     *  - head ready and credit available: now.
+     *
+     * The contract is conservative: the returned cycle is never later
+     * than the first cycle the queue actually drains, so ticking at
+     * it (and every later recomputation) reproduces the per-cycle
+     * loop exactly.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Replays @p cycles idle beginCycle() refills in one call. Only
+     * valid across cycles in which the queue provably drained
+     * nothing (the fast-forward skip window); bit-exact with calling
+     * beginCycle() @p cycles times because the refill saturates at
+     * the credit cap and then stays there.
+     */
+    void skipIdleCycles(Cycle cycles);
+
     std::size_t size() const { return q.size(); }
     bool empty() const { return q.empty(); }
 

@@ -1,5 +1,7 @@
 #include "noc/xbar.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace sac {
@@ -36,6 +38,22 @@ bool
 Xbar::tryPop(int port, Packet &out, Cycle now)
 {
     return queues[static_cast<std::size_t>(port)].tryPop(out, now);
+}
+
+Cycle
+Xbar::nextEventCycle(Cycle now) const
+{
+    Cycle next = cycleNever;
+    for (const auto &q : queues)
+        next = std::min(next, q.nextEventCycle(now));
+    return next;
+}
+
+void
+Xbar::skipIdleCycles(Cycle cycles)
+{
+    for (auto &q : queues)
+        q.skipIdleCycles(cycles);
 }
 
 std::size_t

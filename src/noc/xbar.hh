@@ -47,6 +47,12 @@ class Xbar
     /** Drains one ready packet from @p port if possible. */
     bool tryPop(int port, Packet &out, Cycle now);
 
+    /** Earliest cycle any port might drain (see BwQueue contract). */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Replays @p cycles idle refills on every port queue. */
+    void skipIdleCycles(Cycle cycles);
+
     int ports() const { return static_cast<int>(queues.size()); }
     std::size_t queued(int port) const;
     std::uint64_t bytesDrained() const;

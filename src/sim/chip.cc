@@ -1,5 +1,7 @@
 #include "sim/chip.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace sac {
@@ -203,6 +205,33 @@ Chip::setWaySplit(int local_ways)
 {
     for (auto &slice : slices)
         slice->cache().setWaySplit(local_ways);
+}
+
+Cycle
+Chip::nextEventCycle(Cycle now) const
+{
+    const Cycle mem_next = mem.nextEventCycle(now);
+    Cycle next = mem_next;
+    for (const auto &cluster : clusters)
+        next = std::min(next, cluster->nextEventCycle(now));
+    next = std::min(next, respXbar.nextEventCycle(now));
+    if (!directBypassQ.empty()) {
+        next = std::min(next,
+                        mem.canAccept(directBypassQ.front().lineAddr)
+                            ? now
+                            : mem_next);
+    }
+    for (const auto &slice : slices)
+        next = std::min(next, slice->nextEventCycle(now, *this, mem_next));
+    return next;
+}
+
+void
+Chip::skipIdleCycles(Cycle cycles)
+{
+    respXbar.skipIdleCycles(cycles);
+    for (auto &slice : slices)
+        slice->skipIdleCycles(cycles);
 }
 
 bool

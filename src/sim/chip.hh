@@ -91,6 +91,18 @@ class Chip : public SliceEnv
     /** Applies a way split to every slice (Static/Dynamic orgs). */
     void setWaySplit(int local_ways);
 
+    // --- fast-forward -----------------------------------------------------
+    /**
+     * Earliest cycle anything on this chip might do work: cluster
+     * issue/wakes, response-crossbar drains, slice queues, blocked
+     * bypass retries and DRAM completions. cycleNever when the chip
+     * is fully quiescent (then only off-chip arrivals can wake it).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Replays @p cycles idle bandwidth refills on every queue. */
+    void skipIdleCycles(Cycle cycles);
+
     // --- queries ----------------------------------------------------------
     bool clustersDone() const;
     std::size_t outstanding() const;

@@ -51,6 +51,7 @@ ExperimentPlan::add(ExperimentJob job)
         job.label = job.profile.name + "/" + toString(job.org);
     if (!job.telemetry.enabled())
         job.telemetry = telemetryDefault_;
+    job.fastForward = job.fastForward && fastForwardDefault_;
     jobs_.push_back(std::move(job));
     return *this;
 }
@@ -90,6 +91,15 @@ ExperimentPlan::enableTelemetry(const telemetry::Options &opts)
     return *this;
 }
 
+ExperimentPlan &
+ExperimentPlan::setFastForward(bool enabled)
+{
+    fastForwardDefault_ = enabled;
+    for (auto &job : jobs_)
+        job.fastForward = enabled;
+    return *this;
+}
+
 ExperimentEngine::ExperimentEngine(unsigned threads) : threads_(threads) {}
 
 RunRecord
@@ -104,6 +114,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index)
     const WorkloadProfile scaled = job.profile.scaledData(dataScale(cfg));
     SharingTraceGen gen(scaled, cfg, job.seed);
     System system(cfg, job.org, gen);
+    system.setFastForward(job.fastForward);
     if (job.telemetry.enabled())
         system.enableTelemetry(job.telemetry);
 

@@ -58,6 +58,13 @@ struct ExperimentJob
      * them never perturbs the measurements.
      */
     telemetry::Options telemetry;
+    /**
+     * Next-event fast-forward for this job's System (see
+     * System::setFastForward). On by default; results are
+     * bit-identical either way, so turning it off is only useful for
+     * differential testing of the fast-forward layer itself.
+     */
+    bool fastForward = true;
 };
 
 /**
@@ -94,6 +101,14 @@ class ExperimentPlan
      */
     ExperimentPlan &enableTelemetry(const telemetry::Options &opts);
 
+    /**
+     * Sets next-event fast-forward for every job already in the plan
+     * and for jobs added later. Results are unaffected either way
+     * (the differential tests prove it); off means the per-cycle
+     * reference loop.
+     */
+    ExperimentPlan &setFastForward(bool enabled);
+
     const std::vector<ExperimentJob> &jobs() const { return jobs_; }
     std::size_t size() const { return jobs_.size(); }
     bool empty() const { return jobs_.empty(); }
@@ -102,6 +117,7 @@ class ExperimentPlan
   private:
     std::vector<ExperimentJob> jobs_;
     telemetry::Options telemetryDefault_;
+    bool fastForwardDefault_ = true;
 };
 
 /** Outcome of one job: the measurements plus engine bookkeeping. */

@@ -14,7 +14,17 @@ namespace {
 /** Hard per-kernel cycle cap: a livelock indicates a simulator bug. */
 constexpr Cycle maxKernelCycles = 50'000'000;
 
+/** Fig. 9 occupancy sampling interval (run-loop control deadline). */
+constexpr Cycle occupancyInterval = 2048;
+
 constexpr unsigned invalidateBytes = 16;
+
+/** Pre-tick wake cycle for a post-tick `clock >= threshold` check. */
+Cycle
+checkWake(Cycle threshold)
+{
+    return threshold == 0 ? 0 : threshold - 1;
+}
 
 } // namespace
 
@@ -190,6 +200,79 @@ System::tick()
         chip->tickMemory(clock);
 
     ++clock;
+}
+
+Cycle
+System::nextWakeCycle() const
+{
+    // Component events: the earliest cycle any queue drains, warp
+    // wakes, DRAM request completes or inter-chip packet moves.
+    Cycle wake = icn.nextEventCycle(clock);
+    for (const auto &chip : chips)
+        wake = std::min(wake, chip->nextEventCycle(clock));
+
+    // Run-loop control deadlines. These are post-tick `clock >= X`
+    // checks, so the pre-tick wake is X - 1: the tick at X - 1
+    // raises the clock to X and the check fires at the same cycle it
+    // would have in the per-cycle loop. Request-count triggers need
+    // no deadline — counts only change when components do work, and
+    // that work is already an event above.
+    if (sampler_)
+        wake = std::min(wake, checkWake(sampler_->nextDue()));
+    if (windowOpen && !windowMidTaken)
+        wake = std::min(wake, checkWake(windowMid));
+    if (windowOpen && windowMidTaken)
+        wake = std::min(wake, checkWake(controller->windowEndCycle()));
+    if (controller && !windowOpen && cfg_.sac.reprofileInterval > 0) {
+        wake = std::min(wake, checkWake(windowClosedAt +
+                                        cfg_.sac.reprofileInterval));
+    }
+    if (dynCtrl)
+        wake = std::min(wake, checkWake(lastEpoch + dynCtrl->epoch()));
+    wake = std::min(wake, checkWake(lastOccupancySample +
+                                    occupancyInterval));
+    // The livelock deadline bounds the wake even when every component
+    // reports cycleNever, so a wedged system panics at the exact same
+    // cycle it would have without fast-forward.
+    wake = std::min(wake, kernelStart + maxKernelCycles);
+    return wake;
+}
+
+void
+System::skipIdleCycles(Cycle cycles)
+{
+    icn.skipIdleCycles(cycles);
+    for (auto &chip : chips)
+        chip->skipIdleCycles(cycles);
+}
+
+void
+System::advance()
+{
+    if (fastForward_) {
+        if (ffProbeHold_ > 0) {
+            // Busy backoff: recent probes found work at the current
+            // cycle, so skip the probe and run the reference loop.
+            --ffProbeHold_;
+        } else {
+            const Cycle wake = nextWakeCycle();
+            if (wake > clock) {
+                // Nothing can happen before `wake`: the skipped
+                // cycles would only have refilled bandwidth budgets,
+                // so replay exactly those refills and jump.
+                skipIdleCycles(wake - clock);
+                ++ffStats_.skips;
+                ffStats_.skippedCycles += wake - clock;
+                clock = wake;
+                ffBackoff_ = 0;
+            } else {
+                ffBackoff_ = std::min<std::uint32_t>(
+                    ffBackoff_ ? ffBackoff_ * 2 : 1, 256);
+                ffProbeHold_ = ffBackoff_;
+            }
+        }
+    }
+    tick();
 }
 
 bool
@@ -495,12 +578,11 @@ RunResult
 System::run(const std::vector<KernelDescriptor> &kernels)
 {
     SAC_ASSERT(!kernels.empty(), "run() needs at least one kernel");
-    constexpr Cycle occupancy_interval = 2048;
 
     for (const auto &kernel : kernels) {
         launchKernel(kernel);
         while (!allDone()) {
-            tick();
+            advance();
             if (sampler_ && sampler_->due(clock)) {
                 sampler_->sample(counterTotals(), clock, kernel.index,
                                  currentModeName());
@@ -530,7 +612,7 @@ System::run(const std::vector<KernelDescriptor> &kernels)
             }
             if (dynCtrl && clock - lastEpoch >= dynCtrl->epoch())
                 dynamicEpochUpdate();
-            if (clock - lastOccupancySample >= occupancy_interval)
+            if (clock - lastOccupancySample >= occupancyInterval)
                 sampleOccupancy();
             if (clock - kernelStart > maxKernelCycles)
                 panic("kernel ", kernel.index, " exceeded ",

@@ -118,6 +118,43 @@ class System : public ClusterEnv, public ChipHooks
     /** Advances one cycle (exposed for fine-grained tests). */
     void tick();
 
+    /**
+     * Advances simulated time by one *event*: when fast-forward is
+     * enabled and no component can do work this cycle, jumps the
+     * clock to the minimum nextEventCycle() over all components and
+     * run-loop control deadlines (replaying the skipped bandwidth
+     * refills bit-exactly), then ticks. With fast-forward disabled —
+     * or whenever something can happen now — identical to tick().
+     * Either way every observable result is the same; only wall time
+     * differs.
+     */
+    void advance();
+
+    /**
+     * Enables/disables next-event fast-forward for run(). On by
+     * default; turning it off forces the per-cycle loop (the
+     * differential-testing escape hatch, sacsim --no-fast-forward).
+     * May be toggled any time, including between kernels.
+     */
+    void setFastForward(bool enabled) { fastForward_ = enabled; }
+    bool fastForwardEnabled() const { return fastForward_; }
+
+    /** Fast-forward effectiveness counters for one run. */
+    struct FastForwardStats
+    {
+        /** Number of clock jumps taken. */
+        std::uint64_t skips = 0;
+        /** Cycles covered by jumps (not ticked one by one). */
+        std::uint64_t skippedCycles = 0;
+    };
+
+    /**
+     * Skip counters for the current/last run. Deliberately not part
+     * of RunResult: results must stay byte-identical with
+     * fast-forward on and off, and these counters are zero when off.
+     */
+    const FastForwardStats &fastForwardStats() const { return ffStats_; }
+
     // --- ClusterEnv -----------------------------------------------------
     void injectMiss(Packet &&pkt, Cycle now) override;
 
@@ -149,6 +186,16 @@ class System : public ClusterEnv, public ChipHooks
 
   private:
     bool allDone() const;
+    /**
+     * Earliest cycle at which any component might do work or any
+     * run-loop check might fire, in pre-tick clock coordinates.
+     * Always finite while a kernel is in flight (the livelock
+     * deadline bounds it). advance() skips to it when it is in the
+     * future.
+     */
+    Cycle nextWakeCycle() const;
+    /** Replays @p cycles of idle bandwidth refills on every queue. */
+    void skipIdleCycles(Cycle cycles);
     void launchKernel(const KernelDescriptor &kernel);
     void finishKernel();
     /** Opens a profiling window (kernel start or periodic re-profile). */
@@ -206,6 +253,21 @@ class System : public ClusterEnv, public ChipHooks
 
     // Fig. 10 response accounting.
     std::array<std::uint64_t, 5> respByOrigin{};
+
+    // Next-event fast-forward (tentpole of the perf work; see
+    // docs/PERFORMANCE.md for the invariants).
+    bool fastForward_ = true;
+    FastForwardStats ffStats_;
+    /**
+     * Probe backoff: after nextWakeCycle() finds work at the current
+     * cycle, re-probing is held off for a doubling number of cycles
+     * (capped) so busy phases pay almost no probe cost. Held-off
+     * cycles are plain tick()s — identical to the reference loop —
+     * so backoff never affects results, only how often skips are
+     * attempted.
+     */
+    std::uint32_t ffBackoff_ = 0;
+    std::uint32_t ffProbeHold_ = 0;
 
     // Telemetry (null unless enableTelemetry() was called).
     telemetry::Options telemetryOpts_;

@@ -58,6 +58,9 @@ class Sampler
     /** True when the next epoch boundary has been reached. */
     bool due(Cycle now) const { return now >= nextAt_; }
 
+    /** Cycle at which due() first becomes true (fast-forward wake). */
+    Cycle nextDue() const { return nextAt_; }
+
     /**
      * Closes the current epoch at @p now: appends the delta between
      * @p totals and the previous totals. @p kernel and @p mode tag

@@ -63,6 +63,7 @@ struct Options
     std::string timelinePath;
     std::string traceEventsPath;
     Cycle epoch = 0; // 0 = default (2048) when --timeline is given
+    bool fastForward = true;
 };
 
 /** Telemetry the requested outputs imply. */
@@ -111,7 +112,12 @@ usage(int code)
         "writes JSONL)\n"
         "  --epoch N              telemetry sampling epoch in cycles\n"
         "                         (default 2048 when --timeline is "
-        "given)\n";
+        "given)\n"
+        "  --no-fast-forward      force the per-cycle reference loop\n"
+        "                         (results are bit-identical either "
+        "way;\n"
+        "                         this is the differential-testing "
+        "hatch)\n";
     std::exit(code);
 }
 
@@ -204,6 +210,8 @@ parse(int argc, char **argv)
             o.traceEventsPath = value();
         else if (arg == "--epoch")
             o.epoch = std::stoull(value());
+        else if (arg == "--no-fast-forward")
+            o.fastForward = false;
         else
             fatal("unknown option '", arg, "' (try --help)");
     }
@@ -254,6 +262,7 @@ runOne(const Options &o, const GpuConfig &cfg,
     TraceSource &trace = source ? *source : *gen;
 
     System system(cfg, kind, trace);
+    system.setFastForward(o.fastForward);
     const auto topts = telemetryOptions(o);
     if (topts.enabled())
         system.enableTelemetry(topts);
@@ -434,6 +443,7 @@ run(const Options &o)
     } else {
         ExperimentPlan plan;
         plan.addOrgSweep(profile, cfg, kinds, o.seed);
+        plan.setFastForward(o.fastForward);
         if (topts.enabled())
             plan.enableTelemetry(topts);
         Runner::Options ropts;
