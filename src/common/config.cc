@@ -10,44 +10,84 @@ namespace sac {
 void
 GpuConfig::validate() const
 {
+    // Every rejection is a recoverable ValidationError whose context
+    // names the offending field, so a sweep engine can report exactly
+    // which knob a generated configuration got wrong and keep going.
     if (numChips < 1 || numChips > 16)
-        fatal("numChips must be in [1, 16], got ", numChips);
-    if (clustersPerChip < 1 || slicesPerChip < 1 || channelsPerChip < 1)
-        fatal("per-chip resource counts must be positive");
+        invalid("GpuConfig.numChips", "must be in [1, 16], got ", numChips);
+    if (clustersPerChip < 1)
+        invalid("GpuConfig.clustersPerChip", "must be positive, got ",
+                clustersPerChip);
+    if (slicesPerChip < 1)
+        invalid("GpuConfig.slicesPerChip", "must be positive, got ",
+                slicesPerChip);
+    if (channelsPerChip < 1)
+        invalid("GpuConfig.channelsPerChip", "must be positive, got ",
+                channelsPerChip);
     if (!isPowerOfTwo(lineBytes) || lineBytes < 32)
-        fatal("lineBytes must be a power of two >= 32, got ", lineBytes);
+        invalid("GpuConfig.lineBytes",
+                "must be a power of two >= 32, got ", lineBytes);
     if (!isPowerOfTwo(pageBytes) || pageBytes < lineBytes)
-        fatal("pageBytes must be a power of two >= lineBytes");
+        invalid("GpuConfig.pageBytes",
+                "must be a power of two >= lineBytes, got ", pageBytes);
     if (sectorsPerLine != 1 && sectorsPerLine != 2 && sectorsPerLine != 4)
-        fatal("sectorsPerLine must be 1, 2 or 4, got ", sectorsPerLine);
+        invalid("GpuConfig.sectorsPerLine", "must be 1, 2 or 4, got ",
+                sectorsPerLine);
+    if (llcWays < 1)
+        invalid("GpuConfig.llcWays", "must be positive, got ", llcWays);
     if (llcBytesPerChip % slicesPerChip != 0)
-        fatal("LLC capacity must divide evenly across slices");
+        invalid("GpuConfig.llcBytesPerChip",
+                "must divide evenly across ", slicesPerChip, " slices");
     const auto slice_bytes = llcBytesPerSlice();
     if (slice_bytes % (static_cast<std::uint64_t>(llcWays) * lineBytes) != 0)
-        fatal("LLC slice capacity must divide into ", llcWays, " ways of ",
-              lineBytes, "-byte lines");
+        invalid("GpuConfig.llcBytesPerChip", "slice capacity ", slice_bytes,
+                " must divide into ", llcWays, " ways of ", lineBytes,
+                "-byte lines");
     const auto sets = slice_bytes / (static_cast<std::uint64_t>(llcWays) *
                                      lineBytes);
     if (!isPowerOfTwo(sets))
-        fatal("LLC slice set count must be a power of two, got ", sets);
+        invalid("GpuConfig.llcBytesPerChip",
+                "slice set count must be a power of two, got ", sets);
+    if (l1Ways < 1)
+        invalid("GpuConfig.l1Ways", "must be positive, got ", l1Ways);
     if (l1BytesPerCluster % (static_cast<std::uint64_t>(l1Ways) * lineBytes))
-        fatal("L1 capacity must divide into ways of lines");
-    if (xbarPortBw <= 0 || sliceBw <= 0 || dramChannelBw <= 0 ||
-        interChipBw <= 0) {
-        fatal("all bandwidths must be positive");
-    }
+        invalid("GpuConfig.l1BytesPerCluster",
+                "must divide into ", l1Ways, " ways of ", lineBytes,
+                "-byte lines");
+    if (xbarPortBw <= 0)
+        invalid("GpuConfig.xbarPortBw", "must be positive, got ", xbarPortBw);
+    if (sliceBw <= 0)
+        invalid("GpuConfig.sliceBw", "must be positive, got ", sliceBw);
+    if (dramChannelBw <= 0)
+        invalid("GpuConfig.dramChannelBw", "must be positive, got ",
+                dramChannelBw);
+    if (interChipBw <= 0)
+        invalid("GpuConfig.interChipBw", "must be positive, got ",
+                interChipBw);
     if (warpsPerCluster < 1)
-        fatal("warpsPerCluster must be positive");
-    if (clusterMshrs < 1 || sliceMshrs < 1 || memQueueDepth < 1)
-        fatal("queue capacities must be positive");
+        invalid("GpuConfig.warpsPerCluster", "must be positive, got ",
+                warpsPerCluster);
+    if (clusterMshrs < 1)
+        invalid("GpuConfig.clusterMshrs", "must be positive, got ",
+                clusterMshrs);
+    if (sliceMshrs < 1)
+        invalid("GpuConfig.sliceMshrs", "must be positive, got ",
+                sliceMshrs);
+    if (memQueueDepth < 1)
+        invalid("GpuConfig.memQueueDepth", "must be positive, got ",
+                memQueueDepth);
     if (sac.profileWindow < 1)
-        fatal("SAC profile window must be positive");
+        invalid("GpuConfig.sac.profileWindow", "must be positive");
     if (sac.theta < 0.0)
-        fatal("SAC theta must be non-negative");
+        invalid("GpuConfig.sac.theta", "must be non-negative, got ",
+                sac.theta);
     if (sac.crdSets < 1 || sac.crdWays < 1)
-        fatal("CRD geometry must be positive");
+        invalid("GpuConfig.sac.crdSets", "CRD geometry must be positive, "
+                "got ", sac.crdSets, "x", sac.crdWays);
     if (dynamicLlc.minWays < 1 || 2 * dynamicLlc.minWays > llcWays)
-        fatal("dynamic LLC minWays must leave room for both partitions");
+        invalid("GpuConfig.dynamicLlc.minWays",
+                "must leave room for both partitions, got ",
+                dynamicLlc.minWays, " of ", llcWays, " ways");
 }
 
 GpuConfig
@@ -76,10 +116,11 @@ GpuConfig
 GpuConfig::scaled(int divisor)
 {
     if (divisor < 1)
-        fatal("scale divisor must be >= 1, got ", divisor);
+        invalid("GpuConfig.scaled", "divisor must be >= 1, got ", divisor);
     GpuConfig cfg = paperBaseline();
     if (cfg.clustersPerChip % divisor || cfg.slicesPerChip % divisor)
-        fatal("scale divisor ", divisor, " must divide the topology");
+        invalid("GpuConfig.scaled", "divisor ", divisor,
+                " must divide the topology");
     cfg.clustersPerChip /= divisor;
     cfg.slicesPerChip /= divisor;
     cfg.channelsPerChip = std::max(1, cfg.channelsPerChip / divisor);

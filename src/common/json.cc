@@ -65,6 +65,8 @@ std::uint64_t
 Value::asU64() const
 {
     require(Type::Number, "number");
+    if (!text.empty() && text[0] == '-')
+        fatal("JSON: expected a non-negative integer, got '", text, "'");
     return std::strtoull(text.c_str(), nullptr, 10);
 }
 
@@ -108,8 +110,35 @@ class Parser
   private:
     [[noreturn]] void fail(const std::string &why) const
     {
-        fatal("JSON: ", why, " at offset ", pos);
+        // Report the position as line:column — far easier to act on
+        // than a byte offset when the document is pretty-printed or
+        // a JSONL checkpoint line.
+        std::size_t line = 1;
+        std::size_t col = 1;
+        for (std::size_t i = 0; i < pos && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        invalid(log_detail::concat("line ", line, ", column ", col),
+                "JSON: ", why);
     }
+
+    /** RAII nesting guard: containers beyond maxDepth fail cleanly. */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser &p) : parser(p)
+        {
+            if (++parser.depth > maxDepth)
+                parser.fail("nesting deeper than the supported " +
+                            std::to_string(maxDepth) + " levels");
+        }
+        ~DepthGuard() { --parser.depth; }
+        Parser &parser;
+    };
 
     void skipWs()
     {
@@ -147,6 +176,7 @@ class Parser
 
     Value object()
     {
+        const DepthGuard guard(*this);
         expect('{');
         Value v;
         v.type = Value::Type::Object;
@@ -169,6 +199,7 @@ class Parser
 
     Value array()
     {
+        const DepthGuard guard(*this);
         expect('[');
         Value v;
         v.type = Value::Type::Array;
@@ -197,6 +228,10 @@ class Parser
             if (c == '"')
                 return v;
             if (c != '\\') {
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    --pos;
+                    fail("unescaped control character in string");
+                }
                 v.text += c;
                 continue;
             }
@@ -215,6 +250,11 @@ class Parser
               case 'u': {
                 if (pos + 4 > text_.size())
                     fail("truncated \\u escape");
+                for (std::size_t i = 0; i < 4; ++i) {
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            text_[pos + i])))
+                        fail("non-hex digit in \\u escape");
+                }
                 const unsigned code = static_cast<unsigned>(std::strtoul(
                     text_.substr(pos, 4).c_str(), nullptr, 16));
                 pos += 4;
@@ -244,6 +284,45 @@ class Parser
         if (pos == start)
             fail("expected a value");
         v.text = text_.substr(start, pos - start);
+
+        // The scan above is permissive (it grabs any digit-ish run),
+        // so validate the token against the JSON number grammar:
+        //   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+        const auto malformed = [&]() {
+            pos = start;
+            fail("malformed number '" + v.text + "'");
+        };
+        std::size_t i = 0;
+        const auto digit_run = [&]() {
+            std::size_t n = 0;
+            while (i < v.text.size() &&
+                   std::isdigit(static_cast<unsigned char>(v.text[i]))) {
+                ++i;
+                ++n;
+            }
+            return n;
+        };
+        if (i < v.text.size() && v.text[i] == '-')
+            ++i;
+        if (i < v.text.size() && v.text[i] == '0')
+            ++i;
+        else if (digit_run() == 0)
+            malformed();
+        if (i < v.text.size() && v.text[i] == '.') {
+            ++i;
+            if (digit_run() == 0)
+                malformed();
+        }
+        if (i < v.text.size() && (v.text[i] == 'e' || v.text[i] == 'E')) {
+            ++i;
+            if (i < v.text.size() &&
+                (v.text[i] == '+' || v.text[i] == '-'))
+                ++i;
+            if (digit_run() == 0)
+                malformed();
+        }
+        if (i != v.text.size())
+            malformed();
         return v;
     }
 
@@ -272,6 +351,7 @@ class Parser
 
     const std::string &text_;
     std::size_t pos = 0;
+    int depth = 0;
 };
 
 } // namespace

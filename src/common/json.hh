@@ -9,7 +9,15 @@
  * so a write/read round trip reproduces every counter bit-for-bit.
  * Reading is a small recursive-descent parser producing a Value tree;
  * numbers keep their raw spelling so the caller chooses integer or
- * double conversion without loss. Malformed input throws FatalError.
+ * double conversion without loss.
+ *
+ * The parser is hardened against hostile input: nesting depth is
+ * capped at maxDepth (deeply nested documents fail cleanly instead of
+ * overflowing the stack) and every rejection throws ValidationError
+ * (a FatalError) whose context pinpoints the line and column of the
+ * offending byte. No input, however malformed or truncated, crashes
+ * the process or invokes undefined behaviour — the malformed-corpus
+ * regression test and the ASan/UBSan CI job enforce this.
  */
 
 #ifndef SAC_COMMON_JSON_HH
@@ -98,7 +106,17 @@ struct Value
     void require(Type t, const char *what) const;
 };
 
-/** Parses one complete JSON document; throws FatalError on errors. */
+/**
+ * Maximum container nesting the parser accepts. Every document this
+ * tree emits is a handful of levels deep; the cap exists purely so
+ * hostile input ("[[[[…") cannot overflow the parser's call stack.
+ */
+constexpr int maxDepth = 96;
+
+/**
+ * Parses one complete JSON document; throws ValidationError (a
+ * FatalError) with line/column context on errors.
+ */
 Value parse(const std::string &text);
 
 } // namespace sac::json

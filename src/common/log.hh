@@ -35,6 +35,33 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/**
+ * Thrown by invalid(): a specific piece of user input was rejected.
+ *
+ * Derives from FatalError so every existing catch/EXPECT_THROW keeps
+ * working, but additionally carries a machine-checkable context
+ * string locating the offending input — "file.trace:17" for file
+ * input, "line 3, column 12" for JSON text, "GpuConfig.lineBytes"
+ * for configuration fields. Validation errors are recoverable by
+ * design: no simulator state is modified before they are thrown, so
+ * a sweep engine can mark the one job failed and carry on.
+ */
+class ValidationError : public FatalError
+{
+  public:
+    ValidationError(std::string context, const std::string &msg)
+        : FatalError(context.empty() ? msg : context + ": " + msg),
+          context_(std::move(context))
+    {
+    }
+
+    /** Where the rejected input came from (may be empty). */
+    const std::string &context() const { return context_; }
+
+  private:
+    std::string context_;
+};
+
 namespace log_detail {
 
 /** Concatenates stream-formattable arguments into one string. */
@@ -73,6 +100,22 @@ fatal(Args &&...args)
     auto msg = log_detail::concat(std::forward<Args>(args)...);
     log_detail::emit("fatal", msg);
     throw FatalError(msg);
+}
+
+/**
+ * Rejects a piece of user input: throws ValidationError carrying
+ * @p context (which input) and the formatted message (why).
+ */
+template <typename... Args>
+[[noreturn]] void
+invalid(const std::string &context, Args &&...args)
+{
+    auto msg = log_detail::concat(std::forward<Args>(args)...);
+    if (!log_detail::quiet()) {
+        log_detail::emit("invalid",
+                         context.empty() ? msg : context + ": " + msg);
+    }
+    throw ValidationError(context, msg);
 }
 
 /** Warns about suspicious but non-fatal conditions. */

@@ -109,6 +109,10 @@ class Chip : public SliceEnv
 
     SmCluster &cluster(ClusterId c) { return *clusters[
         static_cast<std::size_t>(c)]; }
+    const SmCluster &cluster(ClusterId c) const
+    {
+        return *clusters[static_cast<std::size_t>(c)];
+    }
     LlcSlice &slice(int s) { return *slices[static_cast<std::size_t>(s)]; }
     const LlcSlice &slice(int s) const
     {

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/result_io.hh"
 #include "workload/tracegen.hh"
 
 namespace sac {
@@ -52,6 +54,12 @@ ExperimentPlan::add(ExperimentJob job)
     if (!job.telemetry.enabled())
         job.telemetry = telemetryDefault_;
     job.fastForward = job.fastForward && fastForwardDefault_;
+    if (!job.limits.any())
+        job.limits = limitsDefault_;
+    if (!job.fault.enabled()) {
+        if (const FaultSpec *spec = faults_.find(job.label))
+            job.fault = *spec;
+    }
     jobs_.push_back(std::move(job));
     return *this;
 }
@@ -100,12 +108,52 @@ ExperimentPlan::setFastForward(bool enabled)
     return *this;
 }
 
+ExperimentPlan &
+ExperimentPlan::setLimits(const RunLimits &limits)
+{
+    limitsDefault_ = limits;
+    for (auto &job : jobs_) {
+        if (!job.limits.any())
+            job.limits = limits;
+    }
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::setFaultPlan(FaultPlan faults)
+{
+    faults_ = std::move(faults);
+    for (auto &job : jobs_) {
+        if (const FaultSpec *spec = faults_.find(job.label))
+            job.fault = *spec;
+    }
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::setRetry(const RetryPolicy &retry)
+{
+    retry_ = retry;
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::setCheckpoint(std::string path)
+{
+    checkpoint_ = std::move(path);
+    return *this;
+}
+
 ExperimentEngine::ExperimentEngine(unsigned threads) : threads_(threads) {}
 
 RunRecord
-ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index)
+ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index,
+                         int attempt)
 {
     const auto t0 = std::chrono::steady_clock::now();
+
+    if (job.fault.kind == FaultSpec::Kind::Validation)
+        invalid(job.label, job.fault.message);
 
     GpuConfig cfg = job.config;
     cfg.seed = job.seed;
@@ -115,14 +163,43 @@ ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index)
     SharingTraceGen gen(scaled, cfg, job.seed);
     System system(cfg, job.org, gen);
     system.setFastForward(job.fastForward);
+    system.setRunLimits(job.limits);
     if (job.telemetry.enabled())
         system.enableTelemetry(job.telemetry);
+
+    // In-run faults fire at a simulated cycle, so the failure point
+    // is identical with fast-forward on or off and for any worker.
+    switch (job.fault.kind) {
+      case FaultSpec::Kind::Fatal:
+        system.setFaultHook(job.fault.atCycle,
+                            [msg = job.fault.message](System &) {
+                                throw FatalError(msg);
+                            });
+        break;
+      case FaultSpec::Kind::Panic:
+        system.setFaultHook(job.fault.atCycle,
+                            [msg = job.fault.message](System &) {
+                                throw PanicError(msg);
+                            });
+        break;
+      case FaultSpec::Kind::Transient:
+        if (attempt <= job.fault.failAttempts) {
+            system.setFaultHook(job.fault.atCycle,
+                                [msg = job.fault.message](System &) {
+                                    throw TransientError(msg);
+                                });
+        }
+        break;
+      default:
+        break;
+    }
 
     RunRecord rec;
     rec.jobIndex = index;
     rec.label = job.label;
     rec.benchmark = job.profile.name;
     rec.seed = job.seed;
+    rec.attempts = attempt;
     rec.result = system.run(kernelsFor(scaled));
     rec.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
@@ -139,6 +216,78 @@ struct WorkerQueue
     std::deque<std::size_t> jobs;
 };
 
+/** Record for a job that never produced measurements. */
+RunRecord
+failedRecord(const ExperimentJob &job, std::size_t index, int attempts,
+             RunStatus status, std::string diagnostic)
+{
+    RunRecord rec;
+    rec.jobIndex = index;
+    rec.label = job.label;
+    rec.benchmark = job.profile.name;
+    rec.seed = job.seed;
+    rec.attempts = attempts;
+    rec.result.organization = toString(job.org);
+    rec.result.status = status;
+    rec.result.diagnostic = std::move(diagnostic);
+    return rec;
+}
+
+/**
+ * The isolation layer: runs one job, classifies anything it throws
+ * into a RunStatus, and retries transient failures inline. Never
+ * throws — every outcome is a RunRecord.
+ */
+RunRecord
+runGuarded(const ExperimentJob &job, std::size_t index,
+           const RetryPolicy &retry)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto elapsed_ms = [t0] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    const int max_attempts = std::max(1, retry.maxAttempts);
+    int attempt = 1;
+    for (;;) {
+        RunRecord rec;
+        try {
+            return ExperimentEngine::runJob(job, index, attempt);
+        } catch (const TransientError &e) {
+            if (attempt < max_attempts) {
+                if (retry.backoffMs > 0.0) {
+                    // Exponential, wall-clock only: simulated results
+                    // never depend on how long we waited.
+                    const double ms =
+                        retry.backoffMs *
+                        static_cast<double>(1ull << (attempt - 1));
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(ms));
+                }
+                ++attempt;
+                continue;
+            }
+            rec = failedRecord(job, index, attempt, RunStatus::Failed,
+                               e.what());
+        } catch (const LivelockError &e) {
+            rec = failedRecord(job, index, attempt, RunStatus::Livelocked,
+                               e.what());
+        } catch (const SimTimeoutError &e) {
+            rec = failedRecord(job, index, attempt, RunStatus::TimedOut,
+                               e.what());
+        } catch (const std::exception &e) {
+            rec = failedRecord(job, index, attempt, RunStatus::Failed,
+                               e.what());
+        } catch (...) {
+            rec = failedRecord(job, index, attempt, RunStatus::Failed,
+                               "unknown exception");
+        }
+        rec.wallMs = elapsed_ms();
+        return rec;
+    }
+}
+
 } // namespace
 
 std::vector<RunRecord>
@@ -148,16 +297,66 @@ ExperimentEngine::run(const ExperimentPlan &plan,
     const std::size_t n = plan.size();
     std::vector<RunRecord> out(n);
 
-    unsigned workers =
-        threads_ ? threads_
-                 : std::max(1u, std::thread::hardware_concurrency());
-    workers = static_cast<unsigned>(
-        std::min<std::size_t>(std::max<std::size_t>(workers, 1), n));
-
     if (telemetry)
         *telemetry = EngineTelemetry{};
     if (n == 0)
         return out;
+
+    // Checkpoint restore: ok records from a previous (possibly
+    // killed) run of the same plan are taken as-is; everything else
+    // re-runs. The reader tolerates truncated/corrupt lines, so a
+    // mid-write SIGKILL costs at most the job that was in flight.
+    std::vector<char> restored(n, 0);
+    std::ofstream checkpoint_os;
+    std::mutex checkpoint_mutex;
+    bool checkpoint_bad = false;
+    if (!plan.checkpointPath().empty()) {
+        const auto prior =
+            result_io::readCheckpointFile(plan.checkpointPath());
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto it = prior.find(result_io::checkpointKey(
+                i, plan[i].label, plan[i].seed));
+            if (it == prior.end() ||
+                it->second.result.status != RunStatus::Ok) {
+                continue;
+            }
+            out[i] = it->second;
+            out[i].jobIndex = i;
+            restored[i] = 1;
+        }
+        checkpoint_os.open(plan.checkpointPath(), std::ios::app);
+        if (!checkpoint_os)
+            invalid(plan.checkpointPath(),
+                    "cannot open checkpoint file for append");
+    }
+    const auto checkpoint = [&](std::size_t index) {
+        if (!checkpoint_os.is_open())
+            return;
+        std::lock_guard<std::mutex> lock(checkpoint_mutex);
+        result_io::appendCheckpoint(
+            checkpoint_os,
+            result_io::checkpointKey(index, plan[index].label,
+                                     plan[index].seed),
+            out[index]);
+        checkpoint_os.flush();
+        if (!checkpoint_os && !checkpoint_bad) {
+            checkpoint_bad = true;
+            warn("checkpoint append to '", plan.checkpointPath(),
+                 "' failed; resume coverage stops here");
+        }
+    };
+
+    std::size_t remaining = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        remaining += restored[i] ? 0u : 1u;
+
+    unsigned workers =
+        threads_ ? threads_
+                 : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(std::min<std::size_t>(
+        std::max<std::size_t>(workers, 1), std::max<std::size_t>(
+            remaining, 1)));
+
     if (telemetry) {
         telemetry->workers = workers;
         telemetry->workerBusyMs.assign(workers, 0.0);
@@ -180,13 +379,27 @@ ExperimentEngine::run(const ExperimentPlan &plan,
         progress_(p);
     };
 
+    // Restored jobs count as completed immediately.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (restored[i])
+            report(i);
+    }
+    if (remaining == 0) {
+        if (telemetry)
+            telemetry->wallMs = ms_since(clock_type::now());
+        return out;
+    }
+
     if (workers == 1) {
         // Inline serial path: no threads, same results by construction.
         for (std::size_t i = 0; i < n; ++i) {
+            if (restored[i])
+                continue;
             const double queued = ms_since(clock_type::now());
-            out[i] = runJob(plan[i], i);
+            out[i] = runGuarded(plan[i], i, plan.retry());
             out[i].queueMs = queued;
             out[i].worker = 0;
+            checkpoint(i);
             if (telemetry) {
                 telemetry->busyMs += out[i].wallMs;
                 telemetry->workerBusyMs[0] += out[i].wallMs;
@@ -200,11 +413,13 @@ ExperimentEngine::run(const ExperimentPlan &plan,
 
     // Deal jobs round-robin so every worker starts loaded.
     std::vector<WorkerQueue> queues(workers);
-    for (std::size_t i = 0; i < n; ++i)
-        queues[i % workers].jobs.push_back(i);
-
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    {
+        std::size_t dealt = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!restored[i])
+                queues[dealt++ % workers].jobs.push_back(i);
+        }
+    }
 
     const auto pop_own = [&](unsigned w, std::size_t &job) {
         std::lock_guard<std::mutex> lock(queues[w].mutex);
@@ -253,17 +468,12 @@ ExperimentEngine::run(const ExperimentPlan &plan,
                     return;
                 continue;
             }
-            try {
-                const double queued = ms_since(clock_type::now());
-                out[job] = runJob(plan[job], job);
-                out[job].queueMs = queued;
-                out[job].worker = w;
-                report(job);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
+            const double queued = ms_since(clock_type::now());
+            out[job] = runGuarded(plan[job], job, plan.retry());
+            out[job].queueMs = queued;
+            out[job].worker = w;
+            checkpoint(job);
+            report(job);
         }
     };
 
@@ -274,14 +484,13 @@ ExperimentEngine::run(const ExperimentPlan &plan,
     for (auto &t : pool)
         t.join();
 
-    if (first_error)
-        std::rethrow_exception(first_error);
-
     if (telemetry) {
         telemetry->wallMs = ms_since(clock_type::now());
-        for (const auto &rec : out) {
-            telemetry->busyMs += rec.wallMs;
-            telemetry->workerBusyMs[rec.worker] += rec.wallMs;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (restored[i])
+                continue; // prior run's wall time, not this run's work
+            telemetry->busyMs += out[i].wallMs;
+            telemetry->workerBusyMs[out[i].worker] += out[i].wallMs;
         }
     }
     return out;

@@ -14,6 +14,18 @@
  * trace generator and System from its explicit seed, so results are
  * bit-identical to serial execution and independent of the thread
  * count. Only the wall-clock fields vary between runs.
+ *
+ * Fault tolerance: each job runs isolated. A job that throws — bad
+ * configuration, trace validation failure, watchdog deadline,
+ * livelock cap, simulator panic — becomes a RunRecord whose
+ * RunResult carries a non-ok status and the error text as its
+ * diagnostic; every other job's results are unaffected and run()
+ * always returns a record per job. TransientError failures retry on
+ * the same worker with bounded attempts (RetryPolicy), so retried
+ * sweeps remain deterministic for any worker count. With a
+ * checkpoint attached (ExperimentPlan::setCheckpoint), completed
+ * jobs are appended to a JSONL file as they finish and a rerun of
+ * the same plan re-executes only the missing or failed ones.
  */
 
 #ifndef SAC_SIM_ENGINE_HH
@@ -26,6 +38,7 @@
 
 #include "common/config.hh"
 #include "llc/organization.hh"
+#include "sim/fault_injection.hh"
 #include "sim/system.hh"
 #include "telemetry/timeline.hh"
 #include "workload/profile.hh"
@@ -65,6 +78,29 @@ struct ExperimentJob
      * differential testing of the fast-forward layer itself.
      */
     bool fastForward = true;
+    /**
+     * Watchdog deadlines for this job (cycle budget, wall-clock
+     * budget, livelock cap override). Zeroed = no deadlines beyond
+     * the built-in livelock cap.
+     */
+    RunLimits limits;
+    /** Deterministic injected fault; defaulted from the plan's
+     *  FaultPlan by label. Kind::None = run clean. */
+    FaultSpec fault;
+};
+
+/**
+ * Bounded retry for TransientError failures. Retries happen inline
+ * on the worker that ran the failing attempt, so scheduling stays
+ * deterministic; backoff doubles per retry and burns wall-clock
+ * only, never simulated time.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per job (first try included). */
+    int maxAttempts = 3;
+    /** Sleep before retry k is backoffMs * 2^(k-1) milliseconds. */
+    double backoffMs = 0.0;
 };
 
 /**
@@ -109,6 +145,37 @@ class ExperimentPlan
      */
     ExperimentPlan &setFastForward(bool enabled);
 
+    /**
+     * Applies watchdog limits to every job already in the plan whose
+     * own limits are unset, and to jobs added later.
+     */
+    ExperimentPlan &setLimits(const RunLimits &limits);
+
+    /**
+     * Attaches a fault plan: each job whose label has an entry gets
+     * that FaultSpec (existing jobs re-matched, later adds matched in
+     * add()). Deterministic by construction — faults are keyed by
+     * label and fire at simulated cycles.
+     */
+    ExperimentPlan &setFaultPlan(FaultPlan faults);
+
+    /** Retry policy for TransientError failures (default: 3 tries,
+     *  no backoff). */
+    ExperimentPlan &setRetry(const RetryPolicy &retry);
+
+    /**
+     * Attaches a JSONL checkpoint file: completed jobs append to it
+     * as they finish, and a rerun restores ok records (matched by
+     * index|label|seed) instead of re-executing them. The file is
+     * created on first use; a partially written or corrupted file is
+     * tolerated (bad lines are skipped and those jobs re-run).
+     */
+    ExperimentPlan &setCheckpoint(std::string path);
+
+    const RetryPolicy &retry() const { return retry_; }
+    const FaultPlan &faultPlan() const { return faults_; }
+    const std::string &checkpointPath() const { return checkpoint_; }
+
     const std::vector<ExperimentJob> &jobs() const { return jobs_; }
     std::size_t size() const { return jobs_.size(); }
     bool empty() const { return jobs_.empty(); }
@@ -118,6 +185,10 @@ class ExperimentPlan
     std::vector<ExperimentJob> jobs_;
     telemetry::Options telemetryDefault_;
     bool fastForwardDefault_ = true;
+    RunLimits limitsDefault_;
+    FaultPlan faults_;
+    RetryPolicy retry_;
+    std::string checkpoint_;
 };
 
 /** Outcome of one job: the measurements plus engine bookkeeping. */
@@ -135,6 +206,8 @@ struct RunRecord
     double queueMs = 0.0;
     /** Worker that executed the job (0 on the serial path). */
     unsigned worker = 0;
+    /** Attempts the job took (>1 only after transient retries). */
+    int attempts = 1;
 };
 
 /**
@@ -202,17 +275,29 @@ class ExperimentEngine
     void onProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
     /**
-     * Executes every job and returns records in plan order.
-     * A job that throws (bad configuration, simulator panic)
-     * rethrows the first such exception after the pool drains.
+     * Executes every job and returns records in plan order. Jobs are
+     * isolated: a throwing job yields a record with a non-ok
+     * RunResult::status and the error text in diagnostic; the sweep
+     * always completes and the other jobs' results are untouched.
+     * TransientError failures retry per the plan's RetryPolicy. When
+     * the plan has a checkpoint, previously completed ok jobs are
+     * restored instead of re-run and new completions are appended.
      * When @p telemetry is non-null it is filled with the run's
-     * job-level engine telemetry.
+     * job-level engine telemetry (executed jobs only; restored
+     * checkpoint records don't count as this run's work).
      */
     std::vector<RunRecord> run(const ExperimentPlan &plan,
                                EngineTelemetry *telemetry = nullptr) const;
 
-    /** Runs a single job on the calling thread. */
-    static RunRecord runJob(const ExperimentJob &job, std::size_t index = 0);
+    /**
+     * Runs a single job on the calling thread. Unlike run(), this
+     * propagates exceptions — it is the raw building block the
+     * engine's isolation layer wraps. @p attempt numbers retries
+     * from 1 (a Transient fault fires only while
+     * attempt <= fault.failAttempts).
+     */
+    static RunRecord runJob(const ExperimentJob &job, std::size_t index = 0,
+                            int attempt = 1);
 
     unsigned threads() const { return threads_; }
 

@@ -1,5 +1,6 @@
 #include "sim/result_io.hh"
 
+#include <fstream>
 #include <ostream>
 #include <sstream>
 
@@ -73,6 +74,11 @@ runResultFromValue(const Value &v)
 {
     RunResult r;
     r.organization = v.at("organization").asString();
+    // v3 fault-tolerance fields; pre-v3 documents only hold ok runs.
+    if (v.has("status"))
+        r.status = runStatusFromName(v.at("status").asString());
+    if (v.has("diagnostic"))
+        r.diagnostic = v.at("diagnostic").asString();
     r.cycles = v.at("cycles").asU64();
     for (const auto &c : v.at("kernelCycles").array)
         r.kernelCycles.push_back(c.asU64());
@@ -109,14 +115,40 @@ recordFromValue(const Value &v)
     rec.label = v.at("label").asString();
     rec.benchmark = v.at("benchmark").asString();
     rec.seed = v.at("seed").asU64();
-    rec.wallMs = v.at("wallMs").asDouble();
-    // v2 engine bookkeeping; v1 records default them.
+    // Wall-clock fields: mandatory through v2, optional (and absent
+    // by default) from v3 on.
+    if (v.has("wallMs"))
+        rec.wallMs = v.at("wallMs").asDouble();
     if (v.has("queueMs"))
         rec.queueMs = v.at("queueMs").asDouble();
     if (v.has("worker"))
         rec.worker = static_cast<unsigned>(v.at("worker").asU64());
+    // v3 addition; earlier documents ran exactly once.
+    if (v.has("attempts"))
+        rec.attempts = static_cast<int>(v.at("attempts").asU64());
     rec.result = runResultFromValue(v.at("result"));
     return rec;
+}
+
+std::string
+recordToJson(const RunRecord &rec, const WriteOptions &opts)
+{
+    Builder b('{');
+    b.field("jobIndex",
+            json::number(static_cast<std::uint64_t>(rec.jobIndex)))
+        .field("label", json::escape(rec.label))
+        .field("benchmark", json::escape(rec.benchmark))
+        .field("seed", json::number(rec.seed))
+        .field("attempts", json::number(static_cast<std::uint64_t>(
+            rec.attempts < 0 ? 0 : rec.attempts)));
+    if (opts.timing) {
+        b.field("wallMs", json::number(rec.wallMs))
+            .field("queueMs", json::number(rec.queueMs))
+            .field("worker",
+                   json::number(static_cast<std::uint64_t>(rec.worker)));
+    }
+    b.field("result", toJson(rec.result));
+    return b.close('}');
 }
 
 } // namespace
@@ -134,6 +166,8 @@ toJson(const RunResult &r)
 
     Builder b('{');
     b.field("organization", json::escape(r.organization))
+        .field("status", json::escape(toString(r.status)))
+        .field("diagnostic", json::escape(r.diagnostic))
         .field("cycles", json::number(r.cycles))
         .field("kernelCycles", cycles.close(']'))
         .field("accesses", json::number(r.accesses))
@@ -162,33 +196,22 @@ toJson(const RunResult &r)
 }
 
 std::string
-toJson(const std::vector<RunRecord> &records)
+toJson(const std::vector<RunRecord> &records, const WriteOptions &opts)
 {
     Builder results('[');
-    for (const auto &rec : records) {
-        Builder b('{');
-        b.field("jobIndex",
-                json::number(static_cast<std::uint64_t>(rec.jobIndex)))
-            .field("label", json::escape(rec.label))
-            .field("benchmark", json::escape(rec.benchmark))
-            .field("seed", json::number(rec.seed))
-            .field("wallMs", json::number(rec.wallMs))
-            .field("queueMs", json::number(rec.queueMs))
-            .field("worker",
-                   json::number(static_cast<std::uint64_t>(rec.worker)))
-            .field("result", toJson(rec.result));
-        results.item(b.close('}'));
-    }
+    for (const auto &rec : records)
+        results.item(recordToJson(rec, opts));
     Builder doc('{');
-    doc.field("schema", json::escape("sac.results.v2"))
+    doc.field("schema", json::escape("sac.results.v3"))
         .field("results", results.close(']'));
     return doc.close('}');
 }
 
 void
-write(std::ostream &os, const std::vector<RunRecord> &records)
+write(std::ostream &os, const std::vector<RunRecord> &records,
+      const WriteOptions &opts)
 {
-    os << toJson(records) << "\n";
+    os << toJson(records, opts) << "\n";
 }
 
 RunResult
@@ -204,8 +227,10 @@ fromJson(const std::string &text)
     if (!doc.has("schema"))
         fatal("results JSON: not a sac.results document");
     const std::string &schema = doc.at("schema").asString();
-    if (schema != "sac.results.v1" && schema != "sac.results.v2")
+    if (schema != "sac.results.v1" && schema != "sac.results.v2" &&
+        schema != "sac.results.v3") {
         fatal("results JSON: unsupported schema '", schema, "'");
+    }
     std::vector<RunRecord> out;
     for (const auto &v : doc.at("results").array)
         out.push_back(recordFromValue(v));
@@ -218,6 +243,59 @@ read(std::istream &is)
     std::ostringstream buf;
     buf << is.rdbuf();
     return fromJson(buf.str());
+}
+
+std::string
+checkpointKey(std::size_t index, const std::string &label,
+              std::uint64_t seed)
+{
+    return std::to_string(index) + "|" + label + "|" +
+           std::to_string(seed);
+}
+
+void
+appendCheckpoint(std::ostream &os, const std::string &key,
+                 const RunRecord &record)
+{
+    // Timing kept here: checkpoints are per-machine operational state,
+    // not published results, and wall times aid post-mortems.
+    WriteOptions opts;
+    opts.timing = true;
+    Builder b('{');
+    b.field("schema", json::escape("sac.checkpoint.v1"))
+        .field("key", json::escape(key))
+        .field("record", recordToJson(record, opts));
+    os << b.close('}') << "\n";
+}
+
+std::map<std::string, RunRecord>
+readCheckpointFile(const std::string &path)
+{
+    std::map<std::string, RunRecord> out;
+    std::ifstream is(path);
+    if (!is)
+        return out; // no checkpoint yet: nothing to restore
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        // Skip anything that doesn't parse — a truncated tail from a
+        // killed writer, or a corrupted line. Those jobs just re-run.
+        try {
+            const Value v = json::parse(line);
+            if (!v.has("schema") ||
+                v.at("schema").asString() != "sac.checkpoint.v1") {
+                continue;
+            }
+            if (!v.has("key") || !v.has("record"))
+                continue;
+            out[v.at("key").asString()] =
+                recordFromValue(v.at("record"));
+        } catch (const std::exception &) {
+            continue;
+        }
+    }
+    return out;
 }
 
 } // namespace sac::result_io

@@ -7,28 +7,43 @@
  * read and write the same document:
  *
  *   {
- *     "schema": "sac.results.v2",
+ *     "schema": "sac.results.v3",
  *     "results": [ { "label": ..., "benchmark": ..., "seed": ...,
- *                    "wallMs": ..., "queueMs": ..., "worker": ...,
- *                    "result": { ...RunResult..., "timeline": {...}? } } ]
+ *                    "attempts": ...,
+ *                    "result": { ...RunResult..., "status": ...,
+ *                                "diagnostic": ...,
+ *                                "timeline": {...}? } } ]
  *   }
  *
- * v2 adds the engine bookkeeping fields (queueMs, worker) and embeds
+ * v2 added the engine bookkeeping fields (queueMs, worker) and embeds
  * the telemetry timeline inside "result" when the run sampled one.
- * The reader still accepts sac.results.v1 documents: the added fields
- * simply default.
+ * v3 adds the fault-tolerance fields (status, diagnostic, attempts)
+ * and — the behavioral change — omits the volatile wall-clock fields
+ * (wallMs, queueMs, worker) by default: a v3 document depends only on
+ * simulated state, so the same plan produces byte-identical output
+ * for any worker count, across interrupted-and-resumed runs, and
+ * with injected faults. Pass WriteOptions{.timing = true} to keep the
+ * wall-clock fields (checkpoint lines always carry them). The reader
+ * accepts v1, v2 and v3 documents: absent fields simply default.
  *
  * Serialization is lossless: integers are written verbatim and
  * doubles with max_digits10 precision, so a write/read round trip
  * reproduces every counter bit-for-bit (the determinism tests rely
  * on this). No external JSON dependency — reading and writing go
  * through common/json.hh.
+ *
+ * Checkpoints are a separate, line-oriented format (append-safe under
+ * crashes): each line is {"schema":"sac.checkpoint.v1","key":...,
+ * "record":{...}}. The reader skips lines that don't parse — the
+ * expected state after a SIGKILL mid-write — and keeps the last valid
+ * record per key.
  */
 
 #ifndef SAC_SIM_RESULT_IO_HH
 #define SAC_SIM_RESULT_IO_HH
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,24 +52,56 @@
 
 namespace sac::result_io {
 
+/** Controls which volatile fields a results document carries. */
+struct WriteOptions
+{
+    /**
+     * Include wall-clock fields (wallMs, queueMs, worker). Off by
+     * default so documents are byte-identical across runs and worker
+     * counts; turn on for profiling output and checkpoint lines.
+     */
+    bool timing = false;
+};
+
 /** Serializes one RunResult as a JSON object. */
 std::string toJson(const RunResult &result);
 
-/** Serializes records (plan order) as a sac.results.v2 document. */
-std::string toJson(const std::vector<RunRecord> &records);
+/** Serializes records (plan order) as a sac.results.v3 document. */
+std::string toJson(const std::vector<RunRecord> &records,
+                   const WriteOptions &opts = {});
 
-/** Writes the sac.results.v2 document to @p os. */
-void write(std::ostream &os, const std::vector<RunRecord> &records);
+/** Writes the sac.results.v3 document to @p os. */
+void write(std::ostream &os, const std::vector<RunRecord> &records,
+           const WriteOptions &opts = {});
 
 /** Parses a RunResult from the output of toJson(RunResult). */
 RunResult runResultFromJson(const std::string &text);
 
-/** Parses a sac.results document (v1 or v2). Throws FatalError on
- *  malformed input or an unsupported schema. */
+/** Parses a sac.results document (v1, v2 or v3). Throws FatalError
+ *  on malformed input or an unsupported schema. */
 std::vector<RunRecord> fromJson(const std::string &text);
 
-/** Reads a sac.results document (v1 or v2) from @p is. */
+/** Reads a sac.results document (v1, v2 or v3) from @p is. */
 std::vector<RunRecord> read(std::istream &is);
+
+// --- checkpoints --------------------------------------------------------
+
+/** Identity of a job inside a checkpoint: "index|label|seed". */
+std::string checkpointKey(std::size_t index, const std::string &label,
+                          std::uint64_t seed);
+
+/** Appends one sac.checkpoint.v1 line (record written with timing). */
+void appendCheckpoint(std::ostream &os, const std::string &key,
+                      const RunRecord &record);
+
+/**
+ * Reads a JSONL checkpoint, returning the last valid record per key.
+ * Tolerant by design: unparseable or truncated lines — what a killed
+ * writer leaves behind — are skipped, as are lines with the wrong
+ * schema tag. A missing file yields an empty map.
+ */
+std::map<std::string, RunRecord>
+readCheckpointFile(const std::string &path);
 
 } // namespace sac::result_io
 

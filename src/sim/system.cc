@@ -1,13 +1,38 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
+#include <sstream>
 
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "noc/routing.hh"
 
 namespace sac {
+
+const char *
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::Failed: return "failed";
+      case RunStatus::TimedOut: return "timed_out";
+      case RunStatus::Livelocked: return "livelocked";
+    }
+    return "failed";
+}
+
+RunStatus
+runStatusFromName(const std::string &name)
+{
+    for (const auto s : {RunStatus::Ok, RunStatus::Failed,
+                         RunStatus::TimedOut, RunStatus::Livelocked}) {
+        if (name == toString(s))
+            return s;
+    }
+    invalid("RunStatus", "unknown status '", name, "'");
+}
 
 namespace {
 
@@ -104,6 +129,65 @@ std::string
 System::currentModeName() const
 {
     return sacOrg ? toString(sacOrg->mode()) : org->name();
+}
+
+Cycle
+System::livelockCap() const
+{
+    return limits_.livelockCycles > 0 ? limits_.livelockCycles
+                                      : maxKernelCycles;
+}
+
+void
+System::setFaultHook(Cycle at, std::function<void(System &)> fn)
+{
+    faultAt_ = at;
+    faultFn_ = std::move(fn);
+}
+
+std::string
+System::occupancyDigest() const
+{
+    std::ostringstream os;
+    os << "occupancy digest @ cycle " << clock << ", kernel "
+       << currentKernel << ", org " << org->name() << ", mode "
+       << currentModeName() << "\n";
+
+    const telemetry::Counters t = counterTotals();
+    os << "  counters: llcRequests=" << t.llcRequests
+       << " llcHits=" << t.llcHits << " icnBytes=" << t.icnBytes
+       << " dramBytes=" << t.dramBytes << "\n";
+
+    for (const auto &chip : chips) {
+        os << "  chip" << chip->id()
+           << ": outstanding=" << chip->outstanding()
+           << " memInFlight=" << chip->memCtrl().inFlight();
+        std::size_t mshrs = 0;
+        std::size_t miss_q = 0;
+        std::size_t fill_q = 0;
+        std::size_t in_q = 0;
+        for (int s = 0; s < chip->numSlices(); ++s) {
+            const auto &slice = chip->slice(s);
+            mshrs += slice.mshrsInUse();
+            miss_q += slice.missQueued();
+            fill_q += slice.fillQueued();
+            in_q += slice.inQueued();
+        }
+        os << " sliceMshrs=" << mshrs << " missQ=" << miss_q
+           << " fillQ=" << fill_q << " inQ=" << in_q;
+        int blocked = 0;
+        int done = 0;
+        for (int c = 0; c < chip->numClusters(); ++c) {
+            // A cluster still holding outstanding warp loads while
+            // the chip makes no progress is the livelock signature.
+            if (chip->cluster(c).done())
+                ++done;
+            else
+                ++blocked;
+        }
+        os << " clusters(done=" << done << ", active=" << blocked << ")\n";
+    }
+    return os.str();
 }
 
 void
@@ -232,9 +316,16 @@ System::nextWakeCycle() const
     wake = std::min(wake, checkWake(lastOccupancySample +
                                     occupancyInterval));
     // The livelock deadline bounds the wake even when every component
-    // reports cycleNever, so a wedged system panics at the exact same
-    // cycle it would have without fast-forward.
-    wake = std::min(wake, kernelStart + maxKernelCycles);
+    // reports cycleNever, so a wedged system aborts at the exact same
+    // cycle it would have without fast-forward. The per-run cycle
+    // deadline and the armed fault hook are bounded the same way:
+    // watchdogs and injected faults fire cycle-exactly regardless of
+    // fast-forward.
+    wake = std::min(wake, kernelStart + livelockCap());
+    if (limits_.maxCycles > 0)
+        wake = std::min(wake, limits_.maxCycles);
+    if (faultAt_ != cycleNever)
+        wake = std::min(wake, checkWake(faultAt_));
     return wake;
 }
 
@@ -579,10 +670,26 @@ System::run(const std::vector<KernelDescriptor> &kernels)
 {
     SAC_ASSERT(!kernels.empty(), "run() needs at least one kernel");
 
+    // Wall-clock watchdog bookkeeping: steady_clock is sampled every
+    // wallCheckInterval loop iterations so the (host-dependent) check
+    // costs nothing measurable on the hot path.
+    constexpr std::uint64_t wallCheckInterval = 4096;
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::uint64_t wall_check = 0;
+
     for (const auto &kernel : kernels) {
         launchKernel(kernel);
         while (!allDone()) {
             advance();
+            if (faultAt_ != cycleNever && clock >= faultAt_) {
+                // One-shot deterministic fault injection: disarm
+                // before firing so a throwing hook cannot re-fire.
+                faultAt_ = cycleNever;
+                auto fn = std::move(faultFn_);
+                faultFn_ = nullptr;
+                if (fn)
+                    fn(*this);
+            }
             if (sampler_ && sampler_->due(clock)) {
                 sampler_->sample(counterTotals(), clock, kernel.index,
                                  currentModeName());
@@ -614,9 +721,33 @@ System::run(const std::vector<KernelDescriptor> &kernels)
                 dynamicEpochUpdate();
             if (clock - lastOccupancySample >= occupancyInterval)
                 sampleOccupancy();
-            if (clock - kernelStart > maxKernelCycles)
-                panic("kernel ", kernel.index, " exceeded ",
-                      maxKernelCycles, " cycles: likely livelock");
+            if (clock - kernelStart > livelockCap()) {
+                // The livelock watchdog: instead of dying silently at
+                // the cap, capture what every queue and MSHR file was
+                // holding so the post-mortem starts with data.
+                throw LivelockError(log_detail::concat(
+                    "kernel ", kernel.index, " exceeded ", livelockCap(),
+                    " cycles: likely livelock\n", occupancyDigest()));
+            }
+            if (limits_.maxCycles > 0 && clock > limits_.maxCycles) {
+                throw SimTimeoutError(log_detail::concat(
+                    "run exceeded the ", limits_.maxCycles,
+                    "-cycle deadline in kernel ", kernel.index, "\n",
+                    occupancyDigest()));
+            }
+            if (limits_.maxWallMs > 0.0 &&
+                ++wall_check % wallCheckInterval == 0) {
+                const double wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+                if (wall_ms > limits_.maxWallMs) {
+                    throw SimTimeoutError(log_detail::concat(
+                        "run exceeded the wall-clock deadline (",
+                        limits_.maxWallMs, " ms) in kernel ",
+                        kernel.index, "\n", occupancyDigest()));
+                }
+            }
         }
         windowOpen = false;
         result.kernelCycles.push_back(clock - kernelStart);

@@ -13,8 +13,10 @@
 #define SAC_SIM_SYSTEM_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,10 +36,85 @@
 
 namespace sac {
 
+/**
+ * Outcome classification of one simulation job. Everything except Ok
+ * means the measurements in the carrying RunResult are partial or
+ * absent; the diagnostic string says why.
+ */
+enum class RunStatus : std::uint8_t
+{
+    Ok,        //!< ran to completion; measurements are valid
+    Failed,    //!< threw (bad config/trace, simulator panic, fault)
+    TimedOut,  //!< hit a per-job cycle or wall-clock deadline
+    Livelocked //!< hit the livelock cap; diagnostic holds the digest
+};
+
+const char *toString(RunStatus status);
+
+/** Parses toString(RunStatus) output; throws ValidationError else. */
+RunStatus runStatusFromName(const std::string &name);
+
+/**
+ * Per-run watchdog deadlines (System::setRunLimits). Zero means
+ * "no limit" for every field. Cycle limits are exact and
+ * deterministic — a run aborts at the same simulated cycle whether
+ * fast-forward is on or off and however many sweep workers ran it;
+ * the wall-clock limit is inherently host-dependent and exists for
+ * fleet hygiene, not reproducibility.
+ */
+struct RunLimits
+{
+    /** Abort (SimTimeoutError) once the clock passes this cycle. */
+    Cycle maxCycles = 0;
+    /** Abort (SimTimeoutError) after this much host time. */
+    double maxWallMs = 0.0;
+    /**
+     * Override of the built-in per-kernel livelock cap (50M cycles);
+     * exceeding it throws LivelockError with a post-mortem digest.
+     */
+    Cycle livelockCycles = 0;
+
+    bool any() const
+    {
+        return maxCycles > 0 || maxWallMs > 0.0 || livelockCycles > 0;
+    }
+};
+
+/**
+ * Thrown when a RunLimits deadline expires. what() includes the
+ * occupancy digest captured at the moment of the timeout.
+ */
+class SimTimeoutError : public std::runtime_error
+{
+  public:
+    explicit SimTimeoutError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * Thrown when a kernel exceeds the livelock cap. Replaces the old
+ * silent panic: what() carries a telemetry snapshot of the counter
+ * totals plus a queue/MSHR occupancy digest for post-mortem.
+ */
+class LivelockError : public std::runtime_error
+{
+  public:
+    explicit LivelockError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
 /** Measurements of one complete run (all kernels). */
 struct RunResult
 {
     std::string organization;
+    /** Ok unless the run was aborted; see RunStatus. */
+    RunStatus status = RunStatus::Ok;
+    /** Why status != Ok: exception text, watchdog digest. Empty on Ok. */
+    std::string diagnostic;
     Cycle cycles = 0;
     std::vector<Cycle> kernelCycles;
 
@@ -107,6 +184,35 @@ class System : public ClusterEnv, public ChipHooks
 
     /** Executes the kernel sequence to completion. */
     RunResult run(const std::vector<KernelDescriptor> &kernels);
+
+    /**
+     * Installs watchdog deadlines for the coming run; call before
+     * run(). Cycle deadlines fire at the exact same simulated cycle
+     * with fast-forward on or off (they participate in
+     * nextWakeCycle), so aborted runs are as deterministic as
+     * completed ones.
+     */
+    void setRunLimits(const RunLimits &limits) { limits_ = limits; }
+    const RunLimits &runLimits() const { return limits_; }
+
+    /**
+     * Arms a deterministic fault: @p fn is called from the run loop
+     * the first time the clock reaches @p at (exact under
+     * fast-forward). The fault-injection harness uses this to throw
+     * at cycle N; fn may also mutate the system for chaos testing.
+     * One-shot: the hook disarms before it fires.
+     */
+    void setFaultHook(Cycle at, std::function<void(System &)> fn);
+
+    /**
+     * Post-mortem digest of everything that can hold a request:
+     * per-chip outstanding totals, per-slice MSHR/miss/fill/input
+     * queue occupancy, memory-controller in-flight counts and the
+     * counter totals a telemetry snapshot would capture. This is
+     * what the livelock/timeout watchdogs embed in their exception
+     * text, and it is cheap enough to call from a debugger.
+     */
+    std::string occupancyDigest() const;
 
     /**
      * Turns on timeline sampling and/or event tracing for the coming
@@ -268,6 +374,13 @@ class System : public ClusterEnv, public ChipHooks
      */
     std::uint32_t ffBackoff_ = 0;
     std::uint32_t ffProbeHold_ = 0;
+
+    // Watchdogs (see RunLimits) and the fault-injection hook.
+    RunLimits limits_;
+    Cycle faultAt_ = cycleNever;
+    std::function<void(System &)> faultFn_;
+    /** Effective livelock cap: limits_ override or the built-in 50M. */
+    Cycle livelockCap() const;
 
     // Telemetry (null unless enableTelemetry() was called).
     telemetry::Options telemetryOpts_;

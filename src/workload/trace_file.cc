@@ -1,6 +1,7 @@
 #include "workload/trace_file.hh"
 
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -34,8 +35,16 @@ TraceRecorder::beginKernel(int kernel_index)
     inner_.beginKernel(kernel_index);
 }
 
-TraceFileSource::TraceFileSource(std::istream &is)
+TraceFileSource::TraceFileSource(std::istream &is, std::string name)
+    : name_(std::move(name))
 {
+    // Every rejection names the source and line ("file.trace:17") so
+    // a failed sweep job's diagnostic pinpoints the bad input, and
+    // the error is recoverable — nothing partial escapes a throwing
+    // constructor.
+    const auto at = [this](std::size_t line_no) {
+        return name_ + ":" + std::to_string(line_no);
+    };
     std::string line;
     bool header_seen = false;
     std::size_t line_no = 0;
@@ -45,14 +54,18 @@ TraceFileSource::TraceFileSource(std::istream &is)
             continue;
         if (line[0] == '#') {
             if (!header_seen) {
-                if (line.rfind("#sactrace v1", 0) != 0)
-                    fatal("trace file missing '#sactrace v1' header");
+                if (line.rfind("#sactrace v1", 0) != 0) {
+                    invalid(at(line_no),
+                            "trace file missing '#sactrace v1' header");
+                }
                 header_seen = true;
             }
             continue;
         }
-        if (!header_seen)
-            fatal("trace data before the '#sactrace v1' header");
+        if (!header_seen) {
+            invalid(at(line_no),
+                    "trace data before the '#sactrace v1' header");
+        }
         std::istringstream ls(line);
         int chip = 0;
         int cluster = 0;
@@ -63,10 +76,15 @@ TraceFileSource::TraceFileSource(std::istream &is)
         unsigned gap = 0;
         if (!(ls >> chip >> cluster >> warp >> std::hex >> addr >>
               std::dec >> sector >> type >> gap)) {
-            fatal("malformed trace line ", line_no, ": '", line, "'");
+            invalid(at(line_no), "malformed trace line: '", line, "'");
         }
+        if (chip < 0 || cluster < 0 || warp < 0)
+            invalid(at(line_no), "chip/cluster/warp must be non-negative");
         if (type != 'R' && type != 'W')
-            fatal("trace line ", line_no, ": access type must be R or W");
+            invalid(at(line_no), "access type must be R or W, got '",
+                    type, "'");
+        if (gap > std::numeric_limits<std::uint16_t>::max())
+            invalid(at(line_no), "gap ", gap, " out of range");
         MemAccess acc;
         acc.lineAddr = addr;
         acc.sector = static_cast<std::uint8_t>(sector);
@@ -76,7 +94,7 @@ TraceFileSource::TraceFileSource(std::istream &is)
         ++total;
     }
     if (total == 0)
-        fatal("trace file contains no accesses");
+        invalid(name_, "trace file contains no accesses");
 }
 
 TraceFileSource
@@ -84,8 +102,8 @@ TraceFileSource::fromFile(const std::string &path)
 {
     std::ifstream is(path);
     if (!is)
-        fatal("cannot open trace file '", path, "'");
-    return TraceFileSource(is);
+        invalid(path, "cannot open trace file");
+    return TraceFileSource(is, path);
 }
 
 MemAccess
@@ -93,9 +111,9 @@ TraceFileSource::next(ChipId chip, ClusterId cluster, int warp)
 {
     auto it = perStream.find(key(chip, cluster, warp));
     if (it == perStream.end()) {
-        fatal("trace has no stream for chip ", chip, " cluster ", cluster,
-              " warp ", warp,
-              " — run with a topology matching the recording");
+        invalid(name_, "trace has no stream for chip ", chip, " cluster ",
+                cluster, " warp ", warp,
+                " — run with a topology matching the recording");
     }
     Stream &s = it->second;
     const MemAccess acc = s.accesses[s.cursor];

@@ -58,8 +58,15 @@ class TraceRecorder : public TraceSource
 class TraceFileSource : public TraceSource
 {
   public:
-    /** Parses @p is fully; fatal() on malformed input. */
-    explicit TraceFileSource(std::istream &is);
+    /**
+     * Parses @p is fully. Malformed input throws ValidationError
+     * whose context is "<name>:<line>", so callers (and the sweep
+     * engine's per-job isolation) can report exactly which line of
+     * which file was rejected; @p name defaults to "<trace>" for
+     * in-memory streams.
+     */
+    explicit TraceFileSource(std::istream &is,
+                             std::string name = "<trace>");
 
     /** Convenience: opens and parses @p path. */
     static TraceFileSource fromFile(const std::string &path);
@@ -86,6 +93,7 @@ class TraceFileSource : public TraceSource
                static_cast<std::uint64_t>(warp);
     }
 
+    std::string name_;
     std::unordered_map<std::uint64_t, Stream> perStream;
     std::uint64_t total = 0;
 };

@@ -97,6 +97,44 @@ TEST(Config, BadScaleDivisorIsFatal)
     EXPECT_THROW(GpuConfig::scaled(3), FatalError); // does not divide 32/16
 }
 
+TEST(Config, ValidationErrorsNameTheOffendingField)
+{
+    // validate() throws recoverable ValidationErrors whose context is
+    // the field that failed — a sweep diagnostic says exactly which
+    // knob to fix.
+    const auto context_of = [](GpuConfig cfg) {
+        try {
+            cfg.validate();
+        } catch (const ValidationError &e) {
+            return e.context();
+        }
+        return std::string("(validated)");
+    };
+
+    GpuConfig cfg;
+    cfg.lineBytes = 100;
+    EXPECT_EQ(context_of(cfg), "GpuConfig.lineBytes");
+
+    cfg = GpuConfig{};
+    cfg.numChips = 0;
+    EXPECT_EQ(context_of(cfg), "GpuConfig.numChips");
+
+    cfg = GpuConfig{};
+    cfg.sectorsPerLine = 3;
+    EXPECT_EQ(context_of(cfg), "GpuConfig.sectorsPerLine");
+
+    cfg = GpuConfig{};
+    cfg.dynamicLlc.minWays = 9;
+    EXPECT_EQ(context_of(cfg), "GpuConfig.dynamicLlc.minWays");
+
+    try {
+        GpuConfig::scaled(3);
+        FAIL() << "expected ValidationError";
+    } catch (const ValidationError &e) {
+        EXPECT_EQ(e.context(), "GpuConfig.scaled");
+    }
+}
+
 TEST(Config, DerivedQuantities)
 {
     GpuConfig cfg;

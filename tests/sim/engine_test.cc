@@ -142,15 +142,28 @@ TEST(ExperimentEngine, ProgressFiresOncePerJobAndIsSerialized)
     EXPECT_FALSE(overlapped);
 }
 
-TEST(ExperimentEngine, BadJobConfigurationPropagates)
+TEST(ExperimentEngine, BadJobConfigurationIsIsolated)
 {
     GpuConfig bad = tinyConfig();
     bad.sectorsPerLine = 3; // validate() rejects this
 
+    // The engine isolates the failing job: the sweep completes, the
+    // good job's measurements are intact and the bad one carries the
+    // validation error as its diagnostic.
     ExperimentPlan plan;
     plan.add(tinyProfile("RN"), tinyConfig(), OrgKind::MemorySide);
     plan.add(tinyProfile("RN"), bad, OrgKind::MemorySide);
-    EXPECT_THROW(ExperimentEngine(2).run(plan), FatalError);
+    const auto records = ExperimentEngine(2).run(plan);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].result.status, RunStatus::Ok);
+    EXPECT_GT(records[0].result.cycles, 0u);
+    EXPECT_EQ(records[1].result.status, RunStatus::Failed);
+    EXPECT_NE(records[1].result.diagnostic.find("sectorsPerLine"),
+              std::string::npos);
+
+    // The raw single-job entry point still propagates, so callers
+    // that want the exception keep it.
+    EXPECT_THROW(ExperimentEngine::runJob(plan[1], 1), FatalError);
 }
 
 TEST(Runner, RunOrganizationsIsOrdered)

@@ -95,8 +95,9 @@ TEST(ResultIo, DocumentRoundTripsThroughStreams)
     b.result.organization = "Memory-side";
     b.result.cycles = 1;
 
+    // Timing fields survive a round trip when explicitly requested.
     std::stringstream ss;
-    result_io::write(ss, {a, b});
+    result_io::write(ss, {a, b}, {.timing = true});
     const auto back = result_io::read(ss);
 
     ASSERT_EQ(back.size(), 2u);
@@ -109,6 +110,21 @@ TEST(ResultIo, DocumentRoundTripsThroughStreams)
               result_io::toJson(a.result));
     EXPECT_EQ(back[1].benchmark, "GEMM");
     EXPECT_EQ(back[1].result.cycles, 1u);
+
+    // The default document omits them: volatile wall-clock data would
+    // break byte-identity across runs and worker counts.
+    std::stringstream deterministic;
+    result_io::write(deterministic, {a, b});
+    const std::string doc = deterministic.str();
+    EXPECT_EQ(doc.find("wallMs"), std::string::npos);
+    EXPECT_EQ(doc.find("queueMs"), std::string::npos);
+    EXPECT_EQ(doc.find("worker"), std::string::npos);
+    const auto stripped = result_io::fromJson(doc);
+    ASSERT_EQ(stripped.size(), 2u);
+    EXPECT_EQ(stripped[0].wallMs, 0.0);
+    EXPECT_EQ(stripped[0].worker, 0u);
+    EXPECT_EQ(result_io::toJson(stripped[0].result),
+              result_io::toJson(a.result));
 }
 
 TEST(ResultIo, RejectsMalformedInput)
@@ -132,29 +148,63 @@ TEST(ResultIo, ParsesInsignificantWhitespace)
     EXPECT_TRUE(result_io::fromJson(json).empty());
 }
 
-TEST(ResultIo, WriterEmitsV2AndReaderAcceptsHandWrittenV1)
+TEST(ResultIo, WriterEmitsV3AndReaderAcceptsOlderSchemas)
 {
     RunRecord rec;
     rec.label = "RN/SAC";
     rec.benchmark = "RN";
     rec.result = fullResult();
     const std::string json = result_io::toJson({rec});
-    EXPECT_NE(json.find("\"schema\":\"sac.results.v2\""),
+    EXPECT_NE(json.find("\"schema\":\"sac.results.v3\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
 
-    // A pre-telemetry v1 document: no queueMs/worker on the record,
-    // no timeline inside the result. The reader fills the defaults.
-    std::string v1 = json;
-    const std::string v2_tag = "\"schema\":\"sac.results.v2\"";
-    v1.replace(v1.find(v2_tag), v2_tag.size(),
-               "\"schema\":\"sac.results.v1\"");
-    const auto back = result_io::fromJson(v1);
+    // Older documents — records without attempts/status/diagnostic —
+    // still parse, with the added fields defaulting. Exercised by
+    // re-tagging and stripping the v3-only fields.
+    for (const std::string old_tag :
+         {"\"schema\":\"sac.results.v1\"", "\"schema\":\"sac.results.v2\""}) {
+        std::string old_doc = json;
+        const std::string v3_tag = "\"schema\":\"sac.results.v3\"";
+        old_doc.replace(old_doc.find(v3_tag), v3_tag.size(), old_tag);
+        for (const std::string cut :
+             {std::string("\"attempts\":1,"),
+              std::string("\"status\":\"ok\","),
+              std::string("\"diagnostic\":\"\",")}) {
+            const auto pos = old_doc.find(cut);
+            ASSERT_NE(pos, std::string::npos);
+            old_doc.erase(pos, cut.size());
+        }
+        const auto back = result_io::fromJson(old_doc);
+        ASSERT_EQ(back.size(), 1u);
+        EXPECT_EQ(back[0].label, "RN/SAC");
+        EXPECT_EQ(back[0].queueMs, 0.0);
+        EXPECT_EQ(back[0].worker, 0);
+        EXPECT_EQ(back[0].attempts, 1);
+        EXPECT_EQ(back[0].result.status, RunStatus::Ok);
+        EXPECT_TRUE(back[0].result.diagnostic.empty());
+        EXPECT_FALSE(back[0].result.timeline.has_value());
+        EXPECT_EQ(back[0].result.cycles, rec.result.cycles);
+    }
+}
+
+TEST(ResultIo, FailedRecordRoundTripsStatusAndDiagnostic)
+{
+    RunRecord rec;
+    rec.label = "RN/SAC";
+    rec.benchmark = "RN";
+    rec.attempts = 3;
+    rec.result.organization = "SAC";
+    rec.result.status = RunStatus::Livelocked;
+    rec.result.diagnostic = "kernel 0 exceeded 1000 cycles";
+
+    const std::string json = result_io::toJson({rec});
+    const auto back = result_io::fromJson(json);
     ASSERT_EQ(back.size(), 1u);
-    EXPECT_EQ(back[0].label, "RN/SAC");
-    EXPECT_EQ(back[0].queueMs, 0.0);
-    EXPECT_EQ(back[0].worker, 0);
-    EXPECT_FALSE(back[0].result.timeline.has_value());
-    EXPECT_EQ(back[0].result.cycles, rec.result.cycles);
+    EXPECT_EQ(back[0].attempts, 3);
+    EXPECT_EQ(back[0].result.status, RunStatus::Livelocked);
+    EXPECT_EQ(back[0].result.diagnostic, rec.result.diagnostic);
+    EXPECT_EQ(result_io::toJson(back), json);
 }
 
 } // namespace

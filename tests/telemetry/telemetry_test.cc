@@ -369,7 +369,7 @@ TEST(Telemetry, SacRunProducesAnnotatedTimeline)
     EXPECT_GE(closes, 2u);
 }
 
-TEST(Telemetry, ResultsV2RoundTripsTimelineAndStillReadsV1)
+TEST(Telemetry, ResultsV3RoundTripsTimelineAndStillReadsV1)
 {
     ExperimentPlan plan;
     plan.add(tinyProfile("RN"), tinyConfig(), OrgKind::Sac);
@@ -378,9 +378,9 @@ TEST(Telemetry, ResultsV2RoundTripsTimelineAndStillReadsV1)
     ASSERT_EQ(records.size(), 1u);
     ASSERT_TRUE(records[0].result.timeline.has_value());
 
-    // v2 round trip, timeline included.
+    // v3 round trip, timeline included.
     const std::string text = result_io::toJson(records);
-    EXPECT_NE(text.find("\"schema\":\"sac.results.v2\""),
+    EXPECT_NE(text.find("\"schema\":\"sac.results.v3\""),
               std::string::npos);
     const auto back = result_io::fromJson(text);
     ASSERT_EQ(back.size(), 1u);
@@ -391,7 +391,7 @@ TEST(Telemetry, ResultsV2RoundTripsTimelineAndStillReadsV1)
     auto v1_records = records;
     v1_records[0].result.timeline.reset();
     std::string v1 = result_io::toJson(v1_records);
-    const std::string v2_tag = "\"schema\":\"sac.results.v2\"";
+    const std::string v2_tag = "\"schema\":\"sac.results.v3\"";
     v1.replace(v1.find(v2_tag), v2_tag.size(),
                "\"schema\":\"sac.results.v1\"");
     const auto old = result_io::fromJson(v1);

@@ -123,5 +123,50 @@ TEST(TraceFile, MissingFileIsFatal)
                  FatalError);
 }
 
+TEST(TraceFile, RejectionsAreRecoverableAndLocated)
+{
+    // Every rejection is a ValidationError (recoverable: the sweep
+    // engine marks the job failed and carries on) whose context names
+    // the source and line of the offending input.
+    try {
+        std::istringstream is("#sactrace v1\n0 0 zebra\n");
+        TraceFileSource src(is, "bad.trace");
+        FAIL() << "expected ValidationError";
+    } catch (const ValidationError &e) {
+        EXPECT_EQ(e.context(), "bad.trace:2");
+        EXPECT_NE(std::string(e.what()).find("malformed trace line"),
+                  std::string::npos);
+    }
+
+    try {
+        std::istringstream is("0 0 0 1000 0 R 5\n");
+        TraceFileSource src(is, "headerless.trace");
+        FAIL() << "expected ValidationError";
+    } catch (const ValidationError &e) {
+        EXPECT_EQ(e.context(), "headerless.trace:1");
+    }
+
+    // Negative ids, out-of-range gaps and empty traces: same type.
+    {
+        std::istringstream is("#sactrace v1\n0 -1 0 1000 0 R 5\n");
+        EXPECT_THROW(TraceFileSource src(is), ValidationError);
+    }
+    {
+        std::istringstream is("#sactrace v1\n0 0 0 1000 0 R 99999\n");
+        EXPECT_THROW(TraceFileSource src(is), ValidationError);
+    }
+    {
+        std::istringstream is("#sactrace v1\n");
+        EXPECT_THROW(TraceFileSource src(is), ValidationError);
+    }
+
+    // A truncated final line (no trailing fields) is rejected, not
+    // silently half-read — the SIGKILL-mid-write artifact.
+    {
+        std::istringstream is("#sactrace v1\n0 0 0 1000 0 R 5\n0 0 0 20");
+        EXPECT_THROW(TraceFileSource src(is), ValidationError);
+    }
+}
+
 } // namespace
 } // namespace sac

@@ -6,10 +6,16 @@
  * the results; the Swiss-army knife for exploring the design space
  * without writing C++. Organization sweeps execute in parallel
  * through the ExperimentEngine (--jobs), results can be exported as a
- * sac.results.v2 JSON document (--json), and runs can be traced:
+ * sac.results.v3 JSON document (--json), and runs can be traced:
  * --timeline writes epoch-sampled timelines, --trace-events writes a
  * Chrome trace (load it at https://ui.perfetto.dev) or, with a
  * .jsonl path, a JSONL event stream.
+ *
+ * Sweeps are fault tolerant: a failing job is reported with a status
+ * and diagnostic instead of killing the sweep (exit code 2 flags it),
+ * per-job watchdogs bound runaway simulations (--max-cycles,
+ * --max-wall-ms), and --resume FILE checkpoints completed jobs to a
+ * JSONL file so an interrupted sweep re-runs only what's missing.
  *
  *   sacsim --list
  *   sacsim --benchmark CFD --org sac
@@ -64,6 +70,10 @@ struct Options
     std::string traceEventsPath;
     Cycle epoch = 0; // 0 = default (2048) when --timeline is given
     bool fastForward = true;
+    std::string resumePath;
+    Cycle maxCycles = 0;    // 0 = no cycle deadline
+    double maxWallMs = 0.0; // 0 = no wall-clock deadline
+    int retries = 3;        // total attempts for transient failures
 };
 
 /** Telemetry the requested outputs imply. */
@@ -117,7 +127,16 @@ usage(int code)
         "                         (results are bit-identical either "
         "way;\n"
         "                         this is the differential-testing "
-        "hatch)\n";
+        "hatch)\n"
+        "  --resume FILE          checkpoint completed jobs to FILE "
+        "(JSONL)\n"
+        "                         and skip jobs already completed "
+        "there\n"
+        "  --max-cycles N         fail a job past N simulated cycles\n"
+        "  --max-wall-ms X        fail a job past X wall-clock ms\n"
+        "  --retries N            attempts per job for transient "
+        "failures\n"
+        "                         (default 3)\n";
     std::exit(code);
 }
 
@@ -212,6 +231,14 @@ parse(int argc, char **argv)
             o.epoch = std::stoull(value());
         else if (arg == "--no-fast-forward")
             o.fastForward = false;
+        else if (arg == "--resume")
+            o.resumePath = value();
+        else if (arg == "--max-cycles")
+            o.maxCycles = std::stoull(value());
+        else if (arg == "--max-wall-ms")
+            o.maxWallMs = std::stod(value());
+        else if (arg == "--retries")
+            o.retries = std::stoi(value());
         else
             fatal("unknown option '", arg, "' (try --help)");
     }
@@ -284,21 +311,37 @@ needsSerialPath(const Options &o, std::size_t num_orgs)
 void
 printRecords(const Options &o, const std::vector<RunRecord> &records)
 {
+    // Baseline for speedups: the first row that actually ran (a
+    // failed row has no cycle count to compare against).
     std::optional<RunResult> baseline;
-    report::Table t({"organization", "cycles", "speedup", "LLC miss",
-                     "eff LLC BW", "remote frac", "avg load lat",
-                     "wall ms"});
+    report::Table t({"organization", "status", "cycles", "speedup",
+                     "LLC miss", "eff LLC BW", "remote frac",
+                     "avg load lat", "wall ms"});
     for (const auto &rec : records) {
         const auto &r = rec.result;
+        if (r.status != RunStatus::Ok) {
+            t.addRow({r.organization, toString(r.status), "-", "-", "-",
+                      "-", "-", "-", report::num(rec.wallMs, 0)});
+            continue;
+        }
         if (!baseline)
             baseline = r;
-        t.addRow({r.organization, std::to_string(r.cycles),
+        t.addRow({r.organization, toString(r.status),
+                  std::to_string(r.cycles),
                   report::times(speedup(*baseline, r)),
                   report::percent(r.llcMissRate()),
                   report::num(r.effLlcBw),
                   report::percent(r.llcRemoteFraction),
                   report::num(r.avgLoadLatency, 0),
                   report::num(rec.wallMs, 0)});
+    }
+    for (const auto &rec : records) {
+        if (rec.result.status != RunStatus::Ok) {
+            std::cerr << rec.label << " "
+                      << toString(rec.result.status) << " after "
+                      << rec.attempts << " attempt(s): "
+                      << rec.result.diagnostic << "\n";
+        }
     }
     for (const auto &rec : records) {
         for (const auto &d : rec.result.sacDecisions) {
@@ -426,6 +469,11 @@ run(const Options &o)
     std::vector<RunRecord> records;
 
     if (needsSerialPath(o, kinds.size())) {
+        if (!o.resumePath.empty()) {
+            fatal("--resume requires the engine path; it cannot be "
+                  "combined with --trace, --record or single-org "
+                  "--stats");
+        }
         for (const auto kind : kinds) {
             const bool dump = o.stats && kinds.size() == 1;
             const auto t0 = std::chrono::steady_clock::now();
@@ -446,6 +494,16 @@ run(const Options &o)
         plan.setFastForward(o.fastForward);
         if (topts.enabled())
             plan.enableTelemetry(topts);
+        RunLimits limits;
+        limits.maxCycles = o.maxCycles;
+        limits.maxWallMs = o.maxWallMs;
+        if (limits.any())
+            plan.setLimits(limits);
+        RetryPolicy retry;
+        retry.maxAttempts = o.retries;
+        plan.setRetry(retry);
+        if (!o.resumePath.empty())
+            plan.setCheckpoint(o.resumePath);
         Runner::Options ropts;
         ropts.jobs = o.jobs;
         ropts.progress = [](const EngineProgress &p) {
@@ -468,6 +526,12 @@ run(const Options &o)
         writeTimelines(o.timelinePath, records);
     if (!o.traceEventsPath.empty())
         writeTraceEvents(o.traceEventsPath, records);
+
+    // Exit 2: the sweep completed but at least one job did not.
+    for (const auto &rec : records) {
+        if (rec.result.status != RunStatus::Ok)
+            return 2;
+    }
     return 0;
 }
 
