@@ -76,6 +76,9 @@ GpuConfig::validate() const
     if (memQueueDepth < 1)
         invalid("GpuConfig.memQueueDepth", "must be positive, got ",
                 memQueueDepth);
+    if (occupancyInterval < 1)
+        invalid("GpuConfig.occupancyInterval", "must be positive, got ",
+                occupancyInterval);
     if (sac.profileWindow < 1)
         invalid("GpuConfig.sac.profileWindow", "must be positive");
     if (sac.theta < 0.0)

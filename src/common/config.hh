@@ -131,6 +131,15 @@ struct GpuConfig
     /** Memory-controller queue depth per channel. */
     int memQueueDepth = 128;
 
+    // --- Measurement ------------------------------------------------------
+    /**
+     * Cycles between Fig. 9 LLC remote-occupancy samples. A run-loop
+     * control deadline (the occupancy RunService), so it trades
+     * llcRemoteFraction resolution against fast-forward skip length
+     * on idle-heavy workloads. Must be positive.
+     */
+    Cycle occupancyInterval = 2048;
+
     SacParams sac;
     DynamicLlcParams dynamicLlc;
 

@@ -1,0 +1,35 @@
+#include "llc/flush_model.hh"
+
+#include <algorithm>
+
+namespace sac::flush {
+
+Cycle
+icnDrainDone(std::uint64_t bytes, const FlushCosts &costs, Cycle now)
+{
+    const auto icn_cycles = static_cast<Cycle>(
+        static_cast<double>(bytes) / costs.interChipBw);
+    return now + icn_cycles + costs.interChipLatency;
+}
+
+Cycle
+flushDoneCycle(const FlushTraffic &traffic, const FlushCosts &costs,
+               Cycle now, MemDrainModel &mem)
+{
+    Cycle done = now + costs.drainLatency;
+    for (std::size_t c = 0; c < traffic.wbToHome.size(); ++c) {
+        const auto chip = static_cast<ChipId>(c);
+        if (traffic.wbToHome[c] > 0) {
+            done = std::max(done,
+                            mem.occupyBulk(chip, traffic.wbToHome[c], now));
+        }
+        if (traffic.icnFromChip[c] > 0) {
+            done = std::max(done,
+                            icnDrainDone(traffic.icnFromChip[c], costs,
+                                         now));
+        }
+    }
+    return done;
+}
+
+} // namespace sac::flush

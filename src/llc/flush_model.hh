@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Pure cost model for an LLC flush / reconfiguration drain.
+ *
+ * A flush (kernel-boundary software-coherence flush, or the drain
+ * before a SAC mode switch, Section 3.6) writes every matching dirty
+ * line back to its home memory partition; dirty replicas of remote
+ * data additionally cross the inter-chip network. The completion
+ * cycle is the envelope of three terms:
+ *
+ *     done = max(now + drainLatency,           // in-flight drain
+ *                max over chips: memCtrl(wb),  // writeback bandwidth
+ *                max over chips: now + icnBytes / interChipBw
+ *                                    + interChipLatency)
+ *
+ * This module is pure bookkeeping + arithmetic: the caller classifies
+ * each flushed line into a FlushTraffic, supplies the per-chip memory
+ * writeback completion through the MemDrainModel interface (the live
+ * System adapts its memory controllers; tests supply hand-computable
+ * stand-ins), and gets the completion cycle back. No simulator state
+ * is touched here, which is what makes the envelope unit-testable
+ * (tests/llc/flush_model_test.cc).
+ */
+
+#ifndef SAC_LLC_FLUSH_MODEL_HH
+#define SAC_LLC_FLUSH_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sac::flush {
+
+/** Per-chip byte totals one flush must move. */
+struct FlushTraffic
+{
+    /** Dirty bytes written back, indexed by the line's home chip. */
+    std::vector<std::uint64_t> wbToHome;
+    /** Bytes leaving each chip over the inter-chip network (dirty
+     *  replicas of remote data), indexed by the flushing chip. */
+    std::vector<std::uint64_t> icnFromChip;
+
+    explicit FlushTraffic(int num_chips)
+        : wbToHome(static_cast<std::size_t>(num_chips), 0),
+          icnFromChip(static_cast<std::size_t>(num_chips), 0)
+    {
+    }
+
+    /**
+     * Classifies one flushed dirty line held by @p owner whose home
+     * partition is @p home: every line is written back to its home;
+     * a replica (home != owner) also crosses the inter-chip link.
+     */
+    void addLine(ChipId owner, ChipId home, unsigned line_bytes)
+    {
+        wbToHome[static_cast<std::size_t>(home)] += line_bytes;
+        if (home != owner)
+            icnFromChip[static_cast<std::size_t>(owner)] += line_bytes;
+    }
+};
+
+/** The cost knobs the envelope needs (all from GpuConfig). */
+struct FlushCosts
+{
+    /** Cycles to drain in-flight requests before the flush proper. */
+    Cycle drainLatency = 0;
+    /** Per-chip inter-chip egress bandwidth, bytes/cycle. */
+    double interChipBw = 1.0;
+    /** Inter-chip link latency, cycles. */
+    Cycle interChipLatency = 0;
+};
+
+/**
+ * How long one chip's memory system takes to absorb a bulk
+ * writeback. The live adapter charges MemCtrl::occupyBulk (a real
+ * bandwidth reservation — flush traffic delays later requests);
+ * tests implement it with closed-form arithmetic.
+ */
+class MemDrainModel
+{
+  public:
+    virtual ~MemDrainModel() = default;
+
+    /**
+     * Absorbs @p bytes of writeback into @p chip's memory system
+     * starting at @p now; returns the completion cycle. Called only
+     * for chips with a non-zero writeback total.
+     */
+    virtual Cycle occupyBulk(ChipId chip, std::uint64_t bytes,
+                             Cycle now) = 0;
+};
+
+/** Inter-chip term of the envelope for one chip's egress bytes. */
+Cycle icnDrainDone(std::uint64_t bytes, const FlushCosts &costs,
+                   Cycle now);
+
+/**
+ * The flush-completion envelope: the latest of the drain window,
+ * every chip's memory writeback completion and every chip's
+ * inter-chip transfer completion.
+ */
+Cycle flushDoneCycle(const FlushTraffic &traffic, const FlushCosts &costs,
+                     Cycle now, MemDrainModel &mem);
+
+} // namespace sac::flush
+
+#endif // SAC_LLC_FLUSH_MODEL_HH

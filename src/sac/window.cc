@@ -1,0 +1,90 @@
+#include "sac/window.hh"
+
+namespace sac {
+
+void
+SacWindowService::beginKernel(int kernel, Cycle now)
+{
+    kernel_ = kernel;
+    open(now);
+}
+
+void
+SacWindowService::open(Cycle now)
+{
+    if (controller_.mode() == LlcMode::SmSide) {
+        // Periodic re-profiling from an SM-side phase: revert to the
+        // memory-side configuration first (drain + flush, Section 3.6).
+        host_.modeChangeFlush("re-profile");
+    }
+    controller_.beginKernel(kernel_, now);
+    const auto [req, hits] = host_.llcTotals();
+    reqSnapshot_ = req;
+    hitSnapshot_ = hits;
+    open_ = true;
+    midTaken_ = false;
+    mid_ = now + controller_.params().profileWindow / 2;
+}
+
+void
+SacWindowService::close(Cycle now)
+{
+    open_ = false;
+    closedAt_ = now;
+    const auto [req, hits] = host_.llcTotals();
+    const auto dreq = req - reqSnapshot_;
+    const auto dhits = hits - hitSnapshot_;
+    const double hit_rate =
+        dreq ? static_cast<double>(dhits) / static_cast<double>(dreq) : 0.0;
+    const SacDecision d = controller_.endWindow(hit_rate, now);
+    host_.windowClosed(d, hit_rate);
+
+    if (d.chosen == LlcMode::SmSide) {
+        // Reconfiguration: drain in-flight requests, write back and
+        // invalidate the LLC, switch the routing policy (Section 3.6).
+        host_.reconfigured(LlcMode::SmSide);
+        host_.modeChangeFlush("reconfigure");
+    }
+}
+
+Cycle
+SacWindowService::nextDue(Cycle) const
+{
+    if (open_ && !midTaken_)
+        return mid_;
+    if (open_)
+        return controller_.windowEndCycle();
+    if (controller_.params().reprofileInterval > 0)
+        return closedAt_ + controller_.params().reprofileInterval;
+    return cycleNever;
+}
+
+void
+SacWindowService::poll(const TickInfo &tick)
+{
+    const SacParams &params = controller_.params();
+    if (open_ && !midTaken_ &&
+        (tick.now >= mid_ ||
+         controller_.profiler().totalRequests() >=
+             params.profileMinRequests / 2)) {
+        // Restart the hit-rate measurement past the cold-start
+        // transient; the decision uses steady-ish rates.
+        const auto [req, hits] = host_.llcTotals();
+        reqSnapshot_ = req;
+        hitSnapshot_ = hits;
+        controller_.profiler().restartMeasurement();
+        midTaken_ = true;
+    }
+    if (open_ && midTaken_ &&
+        (tick.now >= controller_.windowEndCycle() ||
+         controller_.profiler().totalRequests() >=
+             params.profileMinRequests)) {
+        close(tick.now);
+    }
+    if (!open_ && params.reprofileInterval > 0 &&
+        tick.now - closedAt_ >= params.reprofileInterval) {
+        open(tick.now);
+    }
+}
+
+} // namespace sac

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SAC profiling-window management as a RunService (Sections 3.2/3.6).
+ *
+ * The service owns the window lifecycle the System run loop used to
+ * inline: open at kernel launch (or a periodic re-profile), restart
+ * the hit-rate measurement at the window midpoint to skip the
+ * cold-start transient, close on the window deadline or once enough
+ * requests were observed, and charge the drain/flush cost of a mode
+ * switch. Because it is a RunService, the close/mid/re-profile
+ * deadlines it declares in nextDue() are the ones the fast-forward
+ * wake computation consumes — there is no second copy to keep in
+ * sync.
+ *
+ * The service talks to the rest of the system through WindowHost, a
+ * deliberately narrow interface: counter totals in, decisions and
+ * flush requests out. The System implements it; window management
+ * itself needs nothing else from sim/.
+ */
+
+#ifndef SAC_SAC_WINDOW_HH
+#define SAC_SAC_WINDOW_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "common/types.hh"
+#include "sac/controller.hh"
+#include "sim/run_service.hh"
+
+namespace sac {
+
+/** What window management needs from the surrounding system. */
+class WindowHost
+{
+  public:
+    /** Current system-wide LLC request/hit totals. */
+    virtual std::pair<std::uint64_t, std::uint64_t> llcTotals() const = 0;
+
+    /**
+     * Records a closed window's decision: result bookkeeping plus
+     * the windowClose trace event. @p hit_rate is the LLC hit rate
+     * measured over the (post-midpoint) window.
+     */
+    virtual void windowClosed(const SacDecision &d, double hit_rate) = 0;
+
+    /** Counts + traces a reconfiguration to @p to (before its flush). */
+    virtual void reconfigured(LlcMode to) = 0;
+
+    /**
+     * Performs the full-LLC drain + flush of a mode change: pauses
+     * the clusters until the flush completes, charges the stall and
+     * emits the flush trace event tagged @p reason ("reconfigure" or
+     * "re-profile").
+     */
+    virtual void modeChangeFlush(const char *reason) = 0;
+
+  protected:
+    ~WindowHost() = default;
+};
+
+/** Drives the SAC profiling window open/mid/close/re-profile cycle. */
+class SacWindowService final : public RunService
+{
+  public:
+    SacWindowService(Controller &controller, WindowHost &host)
+        : controller_(controller), host_(host)
+    {
+    }
+
+    /** Kernel launch: opens a fresh profiling window. */
+    void beginKernel(int kernel, Cycle now);
+
+    /**
+     * Kernel completed with the window still open: no decision is
+     * recorded (the kernel never ran long enough to act on one).
+     */
+    void cancel() { open_ = false; }
+
+    /** True while a profiling window is collecting (System feeds the
+     *  profiler only then). */
+    bool isOpen() const { return open_; }
+
+    const char *name() const override { return "sac-window"; }
+    Cycle nextDue(Cycle now) const override;
+    void poll(const TickInfo &tick) override;
+
+  private:
+    /** Opens a window at @p now (kernel start or re-profile). */
+    void open(Cycle now);
+    /** Closes the window: decide, and reconfigure if SM-side won. */
+    void close(Cycle now);
+
+    Controller &controller_;
+    WindowHost &host_;
+    bool open_ = false;
+    /** Hit-rate measurement restarts at the window midpoint so the
+     *  cold-start transient does not bias the EAB comparison. */
+    bool midTaken_ = false;
+    Cycle mid_ = 0;
+    Cycle closedAt_ = 0;
+    int kernel_ = 0;
+    std::uint64_t reqSnapshot_ = 0;
+    std::uint64_t hitSnapshot_ = 0;
+};
+
+} // namespace sac
+
+#endif // SAC_SAC_WINDOW_HH

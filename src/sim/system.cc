@@ -1,12 +1,12 @@
 #include "sim/system.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <ostream>
 #include <sstream>
 
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "llc/flush_model.hh"
 #include "noc/routing.hh"
 
 namespace sac {
@@ -36,22 +36,116 @@ runStatusFromName(const std::string &name)
 
 namespace {
 
-/** Hard per-kernel cycle cap: a livelock indicates a simulator bug. */
-constexpr Cycle maxKernelCycles = 50'000'000;
-
-/** Fig. 9 occupancy sampling interval (run-loop control deadline). */
-constexpr Cycle occupancyInterval = 2048;
-
 constexpr unsigned invalidateBytes = 16;
 
-/** Pre-tick wake cycle for a post-tick `clock >= threshold` check. */
-Cycle
-checkWake(Cycle threshold)
-{
-    return threshold == 0 ? 0 : threshold - 1;
-}
-
 } // namespace
+
+/**
+ * One-shot deterministic fault injection (System::setFaultHook).
+ * First in the poll order so a fault lands before any bookkeeping
+ * runs at its cycle, and its armed cycle participates in the wake so
+ * it fires cycle-exactly under fast-forward.
+ */
+class System::FaultHookService final : public RunService
+{
+  public:
+    explicit FaultHookService(System &sys) : sys_(sys) {}
+
+    const char *name() const override { return "fault-hook"; }
+
+    Cycle nextDue(Cycle) const override { return sys_.faultAt_; }
+
+    void
+    poll(const TickInfo &tick) override
+    {
+        if (sys_.faultAt_ == cycleNever || tick.now < sys_.faultAt_)
+            return;
+        // Disarm before firing so a throwing hook cannot re-fire.
+        sys_.faultAt_ = cycleNever;
+        auto fn = std::move(sys_.faultFn_);
+        sys_.faultFn_ = nullptr;
+        if (fn)
+            fn(sys_);
+    }
+
+  private:
+    System &sys_;
+};
+
+/** Telemetry epoch sampling; registered only by enableTelemetry(). */
+class System::SamplerService final : public RunService
+{
+  public:
+    explicit SamplerService(System &sys) : sys_(sys) {}
+
+    const char *name() const override { return "telemetry-sampler"; }
+
+    Cycle nextDue(Cycle) const override { return sys_.sampler_->nextDue(); }
+
+    void
+    poll(const TickInfo &tick) override
+    {
+        if (sys_.sampler_->due(tick.now)) {
+            sys_.sampler_->sample(sys_.counterTotals(), tick.now,
+                                  tick.kernel, sys_.currentModeName());
+        }
+    }
+
+  private:
+    System &sys_;
+};
+
+/** Dynamic-LLC epoch repartitioning; registered when dynCtrl exists. */
+class System::DynamicEpochService final : public RunService
+{
+  public:
+    explicit DynamicEpochService(System &sys) : sys_(sys) {}
+
+    const char *name() const override { return "dynamic-epoch"; }
+
+    Cycle
+    nextDue(Cycle) const override
+    {
+        return sys_.lastEpoch + sys_.dynCtrl->epoch();
+    }
+
+    void
+    poll(const TickInfo &tick) override
+    {
+        if (tick.now - sys_.lastEpoch >= sys_.dynCtrl->epoch())
+            sys_.dynamicEpochUpdate();
+    }
+
+  private:
+    System &sys_;
+};
+
+/** Fig. 9 remote-occupancy sampling at cfg.occupancyInterval. */
+class System::OccupancyService final : public RunService
+{
+  public:
+    explicit OccupancyService(System &sys) : sys_(sys) {}
+
+    const char *name() const override { return "occupancy-sampler"; }
+
+    Cycle
+    nextDue(Cycle) const override
+    {
+        return sys_.lastOccupancySample + sys_.cfg_.occupancyInterval;
+    }
+
+    void
+    poll(const TickInfo &tick) override
+    {
+        if (tick.now - sys_.lastOccupancySample >=
+            sys_.cfg_.occupancyInterval) {
+            sys_.sampleOccupancy();
+        }
+    }
+
+  private:
+    System &sys_;
+};
 
 System::System(const GpuConfig &cfg, OrgKind kind, TraceSource &trace)
     : cfg_(cfg),
@@ -87,6 +181,32 @@ System::System(const GpuConfig &cfg, OrgKind kind, TraceSource &trace)
     }
 
     result.organization = org->name();
+
+    // The run-loop schedule: every periodic concern registers here
+    // exactly once; run() polls the registry and nextWakeCycle()
+    // derives every control deadline from it. The sampler joins in
+    // enableTelemetry() — phase ordering puts it in the right slot
+    // even though it registers last.
+    faultSvc_ = std::make_unique<FaultHookService>(*this);
+    services_.add(RunPhase::FaultHook, *faultSvc_);
+    if (controller) {
+        window_ = std::make_unique<SacWindowService>(*controller, *this);
+        services_.add(RunPhase::SacWindow, *window_);
+    }
+    if (dynCtrl) {
+        epochSvc_ = std::make_unique<DynamicEpochService>(*this);
+        services_.add(RunPhase::DynamicEpoch, *epochSvc_);
+    }
+    occupancySvc_ = std::make_unique<OccupancyService>(*this);
+    services_.add(RunPhase::Occupancy, *occupancySvc_);
+
+    const DigestFn digest = [this] { return occupancyDigest(); };
+    livelockDog_ = std::make_unique<LivelockWatchdog>(limits_, digest);
+    cycleDog_ = std::make_unique<CycleDeadlineWatchdog>(limits_, digest);
+    wallDog_ = std::make_unique<WallClockWatchdog>(limits_, digest);
+    services_.add(RunPhase::Watchdog, *livelockDog_);
+    services_.add(RunPhase::Watchdog, *cycleDog_);
+    services_.add(RunPhase::Watchdog, *wallDog_);
 }
 
 System::~System() = default;
@@ -99,6 +219,8 @@ System::enableTelemetry(const telemetry::Options &opts)
     if (opts.epoch > 0) {
         sampler_ = std::make_unique<telemetry::Sampler>(opts.epoch,
                                                         cfg_.interChipBw);
+        samplerSvc_ = std::make_unique<SamplerService>(*this);
+        services_.add(RunPhase::Telemetry, *samplerSvc_);
     }
     if (opts.events)
         eventTrace_ = std::make_unique<telemetry::EventTrace>();
@@ -129,13 +251,6 @@ std::string
 System::currentModeName() const
 {
     return sacOrg ? toString(sacOrg->mode()) : org->name();
-}
-
-Cycle
-System::livelockCap() const
-{
-    return limits_.livelockCycles > 0 ? limits_.livelockCycles
-                                      : maxKernelCycles;
 }
 
 void
@@ -200,7 +315,7 @@ System::injectMiss(Packet &&pkt, Cycle now)
         org->routing().route(pkt.lineAddr, pkt.srcChip, home, map);
     applyRoute(pkt, plan);
 
-    if (controller && windowOpen) {
+    if (window_ && window_->isOpen()) {
         controller->profiler().onL1Miss(pkt.srcChip, home, plan.slice,
                                         pkt.lineAddr, pkt.sector);
     }
@@ -295,38 +410,13 @@ System::nextWakeCycle() const
     for (const auto &chip : chips)
         wake = std::min(wake, chip->nextEventCycle(clock));
 
-    // Run-loop control deadlines. These are post-tick `clock >= X`
-    // checks, so the pre-tick wake is X - 1: the tick at X - 1
-    // raises the clock to X and the check fires at the same cycle it
-    // would have in the per-cycle loop. Request-count triggers need
-    // no deadline — counts only change when components do work, and
-    // that work is already an event above.
-    if (sampler_)
-        wake = std::min(wake, checkWake(sampler_->nextDue()));
-    if (windowOpen && !windowMidTaken)
-        wake = std::min(wake, checkWake(windowMid));
-    if (windowOpen && windowMidTaken)
-        wake = std::min(wake, checkWake(controller->windowEndCycle()));
-    if (controller && !windowOpen && cfg_.sac.reprofileInterval > 0) {
-        wake = std::min(wake, checkWake(windowClosedAt +
-                                        cfg_.sac.reprofileInterval));
-    }
-    if (dynCtrl)
-        wake = std::min(wake, checkWake(lastEpoch + dynCtrl->epoch()));
-    wake = std::min(wake, checkWake(lastOccupancySample +
-                                    occupancyInterval));
-    // The livelock deadline bounds the wake even when every component
-    // reports cycleNever, so a wedged system aborts at the exact same
-    // cycle it would have without fast-forward. The per-run cycle
-    // deadline and the armed fault hook are bounded the same way:
-    // watchdogs and injected faults fire cycle-exactly regardless of
-    // fast-forward.
-    wake = std::min(wake, kernelStart + livelockCap());
-    if (limits_.maxCycles > 0)
-        wake = std::min(wake, limits_.maxCycles);
-    if (faultAt_ != cycleNever)
-        wake = std::min(wake, checkWake(faultAt_));
-    return wake;
+    // Control deadlines come from the one service registry the loop
+    // body also polls, so a check fires at the same simulated cycle
+    // with fast-forward on or off by construction. The livelock
+    // watchdog's deadline bounds the result even when every component
+    // reports cycleNever, so a wedged system aborts at the exact
+    // cycle it would have in the per-cycle loop.
+    return std::min(wake, services_.nextWake(clock));
 }
 
 void
@@ -340,6 +430,7 @@ System::skipIdleCycles(Cycle cycles)
 void
 System::advance()
 {
+    lastAdvanceSkipped_ = false;
     if (fastForward_) {
         if (ffProbeHold_ > 0) {
             // Busy backoff: recent probes found work at the current
@@ -356,6 +447,7 @@ System::advance()
                 ffStats_.skippedCycles += wake - clock;
                 clock = wake;
                 ffBackoff_ = 0;
+                lastAdvanceSkipped_ = true;
             } else {
                 ffBackoff_ = std::min<std::uint32_t>(
                     ffBackoff_ ? ffBackoff_ * 2 : 1, 256);
@@ -397,12 +489,13 @@ System::launchKernel(const KernelDescriptor &kernel)
     for (auto &chip : chips)
         chip->beginKernel(kernel.accessesPerWarp, clock);
     kernelStart = clock;
+    livelockDog_->beginKernel(clock);
 
     currentKernel = kernel.index;
     if (eventTrace_)
         eventTrace_->kernelBegin(kernel.index, kernel.name, clock);
-    if (controller)
-        startProfiling();
+    if (window_)
+        window_->beginKernel(kernel.index, clock);
     if (dynCtrl) {
         dynCtrl->reset();
         for (auto &chip : chips)
@@ -418,40 +511,8 @@ System::launchKernel(const KernelDescriptor &kernel)
 }
 
 void
-System::startProfiling()
+System::windowClosed(const SacDecision &d, double hit_rate)
 {
-    SAC_ASSERT(controller != nullptr, "profiling without a controller");
-    if (sacOrg->mode() == LlcMode::SmSide) {
-        // Periodic re-profiling from an SM-side phase: revert to the
-        // memory-side configuration first (drain + flush, Section 3.6).
-        const Cycle done = flushLlc(/*replicas_only=*/false);
-        for (auto &chip : chips)
-            chip->pauseClusters(done);
-        result.flushStallCycles += done - clock;
-        if (eventTrace_)
-            eventTrace_->flush(currentKernel, clock, done - clock,
-                               "re-profile");
-    }
-    controller->beginKernel(currentKernel, clock);
-    const auto [req, hits] = llcTotals();
-    windowReqSnapshot = req;
-    windowHitSnapshot = hits;
-    windowOpen = true;
-    windowMidTaken = false;
-    windowMid = clock + controller->params().profileWindow / 2;
-}
-
-void
-System::closeProfilingWindow()
-{
-    windowOpen = false;
-    windowClosedAt = clock;
-    const auto [req, hits] = llcTotals();
-    const auto dreq = req - windowReqSnapshot;
-    const auto dhits = hits - windowHitSnapshot;
-    const double hit_rate =
-        dreq ? static_cast<double>(dhits) / static_cast<double>(dreq) : 0.0;
-    const SacDecision d = controller->endWindow(hit_rate, clock);
     result.sacDecisions.push_back(d);
     if (eventTrace_) {
         eventTrace_->windowClose(
@@ -469,34 +530,33 @@ System::closeProfilingWindow()
              {"hitSm", d.inputs.hitSm},
              {"windowHitRate", hit_rate}});
     }
+}
 
-    if (d.chosen == LlcMode::SmSide) {
-        // Reconfiguration: drain in-flight requests, write back and
-        // invalidate the LLC, switch the routing policy (Section 3.6).
-        ++result.reconfigurations;
-        const Cycle done = flushLlc(/*replicas_only=*/false);
-        for (auto &chip : chips)
-            chip->pauseClusters(done);
-        result.flushStallCycles += done - clock;
-        if (eventTrace_) {
-            eventTrace_->reconfigure(currentKernel, clock,
-                                     toString(LlcMode::SmSide));
-            eventTrace_->flush(currentKernel, clock, done - clock,
-                               "reconfigure");
-        }
-    }
+void
+System::reconfigured(LlcMode to)
+{
+    ++result.reconfigurations;
+    if (eventTrace_)
+        eventTrace_->reconfigure(currentKernel, clock, toString(to));
+}
+
+void
+System::modeChangeFlush(const char *reason)
+{
+    const Cycle done = flushLlc(/*replicas_only=*/false);
+    for (auto &chip : chips)
+        chip->pauseClusters(done);
+    result.flushStallCycles += done - clock;
+    if (eventTrace_)
+        eventTrace_->flush(currentKernel, clock, done - clock, reason);
 }
 
 Cycle
 System::flushLlc(bool replicas_only)
 {
-    // Gather dirty bytes per home partition; dirty replicas of remote
-    // data must also cross the inter-chip network.
-    std::vector<std::uint64_t> wb_to_home(
-        static_cast<std::size_t>(cfg_.numChips), 0);
-    std::vector<std::uint64_t> icn_from_chip(
-        static_cast<std::size_t>(cfg_.numChips), 0);
-
+    // Classify flushed dirty lines into per-chip writeback and
+    // inter-chip byte totals; the pure model computes the envelope.
+    flush::FlushTraffic traffic(cfg_.numChips);
     for (auto &chip : chips) {
         const ChipId c = chip->id();
         for (int s = 0; s < chip->numSlices(); ++s) {
@@ -505,31 +565,35 @@ System::flushLlc(bool replicas_only)
                 return !replicas_only || line.home != c;
             };
             cache.flushIf(pred, [&](const CacheLine &line) {
-                wb_to_home[static_cast<std::size_t>(line.home)] +=
-                    cfg_.lineBytes;
-                if (line.home != c) {
-                    icn_from_chip[static_cast<std::size_t>(c)] +=
-                        cfg_.lineBytes;
-                }
+                traffic.addLine(c, line.home, cfg_.lineBytes);
             });
         }
     }
 
-    Cycle done = clock + cfg_.sac.drainLatency;
-    for (auto &chip : chips) {
-        const auto idx = static_cast<std::size_t>(chip->id());
-        if (wb_to_home[idx] > 0) {
-            done = std::max(done, chip->memCtrl().occupyBulk(wb_to_home[idx],
-                                                             clock));
+    flush::FlushCosts costs;
+    costs.drainLatency = cfg_.sac.drainLatency;
+    costs.interChipBw = cfg_.interChipBw;
+    costs.interChipLatency = cfg_.interChipLatency;
+
+    // Live adapter: the writeback is a real bandwidth reservation on
+    // the home chip's memory controller (flush traffic delays later
+    // requests), unlike the closed-form stand-ins tests use.
+    struct MemDrain final : flush::MemDrainModel
+    {
+        System &sys;
+
+        explicit MemDrain(System &s) : sys(s) {}
+
+        Cycle
+        occupyBulk(ChipId chip, std::uint64_t bytes, Cycle now) override
+        {
+            return sys.chips[static_cast<std::size_t>(chip)]
+                ->memCtrl()
+                .occupyBulk(bytes, now);
         }
-        if (icn_from_chip[idx] > 0) {
-            const auto icn_cycles = static_cast<Cycle>(
-                static_cast<double>(icn_from_chip[idx]) / cfg_.interChipBw);
-            done = std::max(done, clock + icn_cycles +
-                                      cfg_.interChipLatency);
-        }
-    }
-    return done;
+    } mem(*this);
+
+    return flush::flushDoneCycle(traffic, costs, clock, mem);
 }
 
 void
@@ -670,86 +734,29 @@ System::run(const std::vector<KernelDescriptor> &kernels)
 {
     SAC_ASSERT(!kernels.empty(), "run() needs at least one kernel");
 
-    // Wall-clock watchdog bookkeeping: steady_clock is sampled every
-    // wallCheckInterval loop iterations so the (host-dependent) check
-    // costs nothing measurable on the hot path.
-    constexpr std::uint64_t wallCheckInterval = 4096;
-    const auto wall_start = std::chrono::steady_clock::now();
-    std::uint64_t wall_check = 0;
+    wallDog_->start();
 
+    // The loop body is the whole story: advance simulated time, then
+    // poll the service registry. Every control concern — fault
+    // injection, telemetry, the SAC window, the dynamic-LLC epoch,
+    // occupancy sampling, the watchdogs — lives behind the registry,
+    // and the same registry feeds nextWakeCycle(), so no deadline
+    // exists anywhere else.
+    TickInfo tick;
     for (const auto &kernel : kernels) {
         launchKernel(kernel);
+        tick.kernel = kernel.index;
         while (!allDone()) {
             advance();
-            if (faultAt_ != cycleNever && clock >= faultAt_) {
-                // One-shot deterministic fault injection: disarm
-                // before firing so a throwing hook cannot re-fire.
-                faultAt_ = cycleNever;
-                auto fn = std::move(faultFn_);
-                faultFn_ = nullptr;
-                if (fn)
-                    fn(*this);
-            }
-            if (sampler_ && sampler_->due(clock)) {
-                sampler_->sample(counterTotals(), clock, kernel.index,
-                                 currentModeName());
-            }
-            if (windowOpen && !windowMidTaken &&
-                (clock >= windowMid ||
-                 controller->profiler().totalRequests() >=
-                     cfg_.sac.profileMinRequests / 2)) {
-                // Restart the hit-rate measurement past the cold-start
-                // transient; the decision uses steady-ish rates.
-                const auto [req, hits] = llcTotals();
-                windowReqSnapshot = req;
-                windowHitSnapshot = hits;
-                controller->profiler().restartMeasurement();
-                windowMidTaken = true;
-            }
-            if (windowOpen && windowMidTaken &&
-                (clock >= controller->windowEndCycle() ||
-                 controller->profiler().totalRequests() >=
-                     cfg_.sac.profileMinRequests)) {
-                closeProfilingWindow();
-            }
-            if (controller && !windowOpen &&
-                cfg_.sac.reprofileInterval > 0 &&
-                clock - windowClosedAt >= cfg_.sac.reprofileInterval) {
-                startProfiling();
-            }
-            if (dynCtrl && clock - lastEpoch >= dynCtrl->epoch())
-                dynamicEpochUpdate();
-            if (clock - lastOccupancySample >= occupancyInterval)
-                sampleOccupancy();
-            if (clock - kernelStart > livelockCap()) {
-                // The livelock watchdog: instead of dying silently at
-                // the cap, capture what every queue and MSHR file was
-                // holding so the post-mortem starts with data.
-                throw LivelockError(log_detail::concat(
-                    "kernel ", kernel.index, " exceeded ", livelockCap(),
-                    " cycles: likely livelock\n", occupancyDigest()));
-            }
-            if (limits_.maxCycles > 0 && clock > limits_.maxCycles) {
-                throw SimTimeoutError(log_detail::concat(
-                    "run exceeded the ", limits_.maxCycles,
-                    "-cycle deadline in kernel ", kernel.index, "\n",
-                    occupancyDigest()));
-            }
-            if (limits_.maxWallMs > 0.0 &&
-                ++wall_check % wallCheckInterval == 0) {
-                const double wall_ms =
-                    std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - wall_start)
-                        .count();
-                if (wall_ms > limits_.maxWallMs) {
-                    throw SimTimeoutError(log_detail::concat(
-                        "run exceeded the wall-clock deadline (",
-                        limits_.maxWallMs, " ms) in kernel ",
-                        kernel.index, "\n", occupancyDigest()));
-                }
-            }
+            tick.now = clock;
+            tick.fastForwarded = lastAdvanceSkipped_;
+            services_.poll(tick);
         }
-        windowOpen = false;
+        if (window_) {
+            // The kernel ended with the window still open: no
+            // decision is recorded.
+            window_->cancel();
+        }
         result.kernelCycles.push_back(clock - kernelStart);
         finishKernel();
     }

@@ -7,6 +7,14 @@
  * configuration, an organization kind and a trace source, then call
  * run() with the kernel sequence. The returned RunResult carries the
  * measurements every bench/figure consumes.
+ *
+ * The run loop itself is thin: every periodic concern (telemetry
+ * sampling, the SAC window, the dynamic-LLC epoch, occupancy
+ * sampling, fault injection, the watchdogs) is a RunService
+ * registered once in a RunServiceRegistry; the loop body polls the
+ * registry and the fast-forward wake computation asks it for the
+ * earliest control deadline, so the two can never disagree
+ * (sim/run_service.hh).
  */
 
 #ifndef SAC_SIM_SYSTEM_HH
@@ -16,7 +24,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,7 +37,10 @@
 #include "mem/page_table.hh"
 #include "noc/interchip.hh"
 #include "sac/controller.hh"
+#include "sac/window.hh"
 #include "sim/chip.hh"
+#include "sim/run_service.hh"
+#include "sim/watchdog.hh"
 #include "telemetry/event_trace.hh"
 #include "telemetry/sampler.hh"
 
@@ -53,59 +63,6 @@ const char *toString(RunStatus status);
 
 /** Parses toString(RunStatus) output; throws ValidationError else. */
 RunStatus runStatusFromName(const std::string &name);
-
-/**
- * Per-run watchdog deadlines (System::setRunLimits). Zero means
- * "no limit" for every field. Cycle limits are exact and
- * deterministic — a run aborts at the same simulated cycle whether
- * fast-forward is on or off and however many sweep workers ran it;
- * the wall-clock limit is inherently host-dependent and exists for
- * fleet hygiene, not reproducibility.
- */
-struct RunLimits
-{
-    /** Abort (SimTimeoutError) once the clock passes this cycle. */
-    Cycle maxCycles = 0;
-    /** Abort (SimTimeoutError) after this much host time. */
-    double maxWallMs = 0.0;
-    /**
-     * Override of the built-in per-kernel livelock cap (50M cycles);
-     * exceeding it throws LivelockError with a post-mortem digest.
-     */
-    Cycle livelockCycles = 0;
-
-    bool any() const
-    {
-        return maxCycles > 0 || maxWallMs > 0.0 || livelockCycles > 0;
-    }
-};
-
-/**
- * Thrown when a RunLimits deadline expires. what() includes the
- * occupancy digest captured at the moment of the timeout.
- */
-class SimTimeoutError : public std::runtime_error
-{
-  public:
-    explicit SimTimeoutError(const std::string &msg)
-        : std::runtime_error(msg)
-    {
-    }
-};
-
-/**
- * Thrown when a kernel exceeds the livelock cap. Replaces the old
- * silent panic: what() carries a telemetry snapshot of the counter
- * totals plus a queue/MSHR occupancy digest for post-mortem.
- */
-class LivelockError : public std::runtime_error
-{
-  public:
-    explicit LivelockError(const std::string &msg)
-        : std::runtime_error(msg)
-    {
-    }
-};
 
 /** Measurements of one complete run (all kernels). */
 struct RunResult
@@ -168,7 +125,7 @@ struct RunResult
 };
 
 /** The simulated multi-chip GPU. */
-class System : public ClusterEnv, public ChipHooks
+class System : public ClusterEnv, public ChipHooks, public WindowHost
 {
   public:
     /**
@@ -188,9 +145,9 @@ class System : public ClusterEnv, public ChipHooks
     /**
      * Installs watchdog deadlines for the coming run; call before
      * run(). Cycle deadlines fire at the exact same simulated cycle
-     * with fast-forward on or off (they participate in
-     * nextWakeCycle), so aborted runs are as deterministic as
-     * completed ones.
+     * with fast-forward on or off (their watchdog services
+     * participate in the registry wake), so aborted runs are as
+     * deterministic as completed ones.
      */
     void setRunLimits(const RunLimits &limits) { limits_ = limits; }
     const RunLimits &runLimits() const { return limits_; }
@@ -228,11 +185,11 @@ class System : public ClusterEnv, public ChipHooks
      * Advances simulated time by one *event*: when fast-forward is
      * enabled and no component can do work this cycle, jumps the
      * clock to the minimum nextEventCycle() over all components and
-     * run-loop control deadlines (replaying the skipped bandwidth
-     * refills bit-exactly), then ticks. With fast-forward disabled —
-     * or whenever something can happen now — identical to tick().
-     * Either way every observable result is the same; only wall time
-     * differs.
+     * registered run-loop control deadlines (replaying the skipped
+     * bandwidth refills bit-exactly), then ticks. With fast-forward
+     * disabled — or whenever something can happen now — identical to
+     * tick(). Either way every observable result is the same; only
+     * wall time differs.
      */
     void advance();
 
@@ -281,8 +238,14 @@ class System : public ClusterEnv, public ChipHooks
     InterChipNet &interChip() { return icn; }
     const AddressMap &addressMap() const { return map; }
 
-    /** Aggregate LLC requests/hits over all slices (current totals). */
-    std::pair<std::uint64_t, std::uint64_t> llcTotals() const;
+    /** The run-loop service schedule (tests, diagnostics). */
+    const RunServiceRegistry &runServices() const { return services_; }
+
+    /**
+     * Aggregate LLC requests/hits over all slices (current totals).
+     * Also the WindowHost counter feed.
+     */
+    std::pair<std::uint64_t, std::uint64_t> llcTotals() const override;
 
     /**
      * Dumps the full statistics tree (per-chip, per-slice, per-cluster
@@ -291,26 +254,31 @@ class System : public ClusterEnv, public ChipHooks
     void dumpStats(std::ostream &os) const;
 
   private:
+    // RunService adapters over System-owned state (defined in
+    // system.cc; as member classes they see System's internals).
+    class FaultHookService;
+    class SamplerService;
+    class DynamicEpochService;
+    class OccupancyService;
+
     bool allDone() const;
     /**
      * Earliest cycle at which any component might do work or any
-     * run-loop check might fire, in pre-tick clock coordinates.
-     * Always finite while a kernel is in flight (the livelock
-     * deadline bounds it). advance() skips to it when it is in the
-     * future.
+     * registered run-loop service might fire, in pre-tick clock
+     * coordinates. Always finite while a kernel is in flight (the
+     * livelock watchdog bounds it). advance() skips to it when it is
+     * in the future.
      */
     Cycle nextWakeCycle() const;
     /** Replays @p cycles of idle bandwidth refills on every queue. */
     void skipIdleCycles(Cycle cycles);
     void launchKernel(const KernelDescriptor &kernel);
     void finishKernel();
-    /** Opens a profiling window (kernel start or periodic re-profile). */
-    void startProfiling();
-    void closeProfilingWindow();
     /**
      * Writes back dirty lines and invalidates LLC content; returns
-     * the cycle the flush completes. @p replicas_only keeps
-     * home-resident lines (Static/Dynamic boundary flush).
+     * the cycle the flush completes (llc/flush_model.hh computes the
+     * envelope). @p replicas_only keeps home-resident lines
+     * (Static/Dynamic boundary flush).
      */
     Cycle flushLlc(bool replicas_only);
     void dynamicEpochUpdate();
@@ -319,6 +287,11 @@ class System : public ClusterEnv, public ChipHooks
     telemetry::Counters counterTotals() const;
     /** Mode tag for a sample: SAC's live mode, else the org name. */
     std::string currentModeName() const;
+
+    // --- WindowHost -------------------------------------------------------
+    void windowClosed(const SacDecision &d, double hit_rate) override;
+    void reconfigured(LlcMode to) override;
+    void modeChangeFlush(const char *reason) override;
 
     GpuConfig cfg_;
     AddressMap map;
@@ -337,14 +310,6 @@ class System : public ClusterEnv, public ChipHooks
     Cycle clock = 0;
     Cycle kernelStart = 0;
     int currentKernel = 0;
-    Cycle windowClosedAt = 0;
-    bool windowOpen = false;
-    /** Hit-rate measurement restarts at the window midpoint so the
-     *  cold-start transient does not bias the EAB comparison. */
-    bool windowMidTaken = false;
-    Cycle windowMid = 0;
-    std::uint64_t windowReqSnapshot = 0;
-    std::uint64_t windowHitSnapshot = 0;
 
     // Dynamic-LLC epoch bookkeeping.
     Cycle lastEpoch = 0;
@@ -364,6 +329,8 @@ class System : public ClusterEnv, public ChipHooks
     // docs/PERFORMANCE.md for the invariants).
     bool fastForward_ = true;
     FastForwardStats ffStats_;
+    /** True when the last advance() jumped the clock. */
+    bool lastAdvanceSkipped_ = false;
     /**
      * Probe backoff: after nextWakeCycle() finds work at the current
      * cycle, re-probing is held off for a doubling number of cycles
@@ -375,17 +342,30 @@ class System : public ClusterEnv, public ChipHooks
     std::uint32_t ffBackoff_ = 0;
     std::uint32_t ffProbeHold_ = 0;
 
-    // Watchdogs (see RunLimits) and the fault-injection hook.
+    // Watchdog limits (see RunLimits) and the fault-injection hook.
     RunLimits limits_;
     Cycle faultAt_ = cycleNever;
     std::function<void(System &)> faultFn_;
-    /** Effective livelock cap: limits_ override or the built-in 50M. */
-    Cycle livelockCap() const;
 
     // Telemetry (null unless enableTelemetry() was called).
     telemetry::Options telemetryOpts_;
     std::unique_ptr<telemetry::Sampler> sampler_;
     std::unique_ptr<telemetry::EventTrace> eventTrace_;
+
+    /**
+     * The single source of run-loop deadlines: every service below
+     * registers here once; run() polls the registry and
+     * nextWakeCycle() derives every control deadline from it.
+     */
+    RunServiceRegistry services_;
+    std::unique_ptr<FaultHookService> faultSvc_;
+    std::unique_ptr<SamplerService> samplerSvc_;
+    std::unique_ptr<SacWindowService> window_;
+    std::unique_ptr<DynamicEpochService> epochSvc_;
+    std::unique_ptr<OccupancyService> occupancySvc_;
+    std::unique_ptr<LivelockWatchdog> livelockDog_;
+    std::unique_ptr<CycleDeadlineWatchdog> cycleDog_;
+    std::unique_ptr<WallClockWatchdog> wallDog_;
 
     RunResult result;
 };

@@ -1,0 +1,76 @@
+#include "sim/watchdog.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+Cycle
+LivelockWatchdog::nextDue(Cycle) const
+{
+    // The loop check is `now - kernelStart > cap`, i.e. it first
+    // fires at kernelStart + cap + 1. This deadline bounds the wake
+    // even when every component reports cycleNever, so a wedged
+    // system aborts at the exact same cycle it would have without
+    // fast-forward.
+    return kernelStart_ + cap() + 1;
+}
+
+void
+LivelockWatchdog::poll(const TickInfo &tick)
+{
+    if (tick.now - kernelStart_ <= cap())
+        return;
+    // Instead of dying silently at the cap, capture what every queue
+    // and MSHR file was holding so the post-mortem starts with data.
+    throw LivelockError(log_detail::concat(
+        "kernel ", tick.kernel, " exceeded ", cap(),
+        " cycles: likely livelock\n", digest_()));
+}
+
+Cycle
+CycleDeadlineWatchdog::nextDue(Cycle) const
+{
+    return limits_.maxCycles > 0 ? limits_.maxCycles + 1 : cycleNever;
+}
+
+void
+CycleDeadlineWatchdog::poll(const TickInfo &tick)
+{
+    if (limits_.maxCycles == 0 || tick.now <= limits_.maxCycles)
+        return;
+    throw SimTimeoutError(log_detail::concat(
+        "run exceeded the ", limits_.maxCycles,
+        "-cycle deadline in kernel ", tick.kernel, "\n", digest_()));
+}
+
+void
+WallClockWatchdog::start()
+{
+    start_ = std::chrono::steady_clock::now();
+    checks_ = 0;
+}
+
+void
+WallClockWatchdog::poll(const TickInfo &tick)
+{
+    if (limits_.maxWallMs <= 0.0)
+        return;
+    // Dense path: one iteration advanced one cycle, so sampling
+    // steady_clock every checkInterval iterations bounds the check's
+    // staleness and costs nothing measurable. A fast-forwarded
+    // iteration may have skipped millions of cycles, so it is always
+    // checked — otherwise a mostly-idle run could blow through the
+    // wall budget between strided samples.
+    if (!tick.fastForwarded && ++checks_ % checkInterval != 0)
+        return;
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    if (wall_ms > limits_.maxWallMs) {
+        throw SimTimeoutError(log_detail::concat(
+            "run exceeded the wall-clock deadline (", limits_.maxWallMs,
+            " ms) in kernel ", tick.kernel, "\n", digest_()));
+    }
+}
+
+} // namespace sac

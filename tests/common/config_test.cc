@@ -89,6 +89,19 @@ TEST(Config, ValidationCatchesBadGeometry)
     cfg = GpuConfig{};
     cfg.dynamicLlc.minWays = 9; // 2*9 > 16 ways
     EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = GpuConfig{};
+    cfg.occupancyInterval = 0; // a zero interval would sample forever
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, OccupancyIntervalIsConfigurable)
+{
+    GpuConfig cfg;
+    EXPECT_EQ(cfg.occupancyInterval, 2048u); // former hard-coded value
+
+    cfg.occupancyInterval = 512;
+    EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(Config, BadScaleDivisorIsFatal)
@@ -126,6 +139,10 @@ TEST(Config, ValidationErrorsNameTheOffendingField)
     cfg = GpuConfig{};
     cfg.dynamicLlc.minWays = 9;
     EXPECT_EQ(context_of(cfg), "GpuConfig.dynamicLlc.minWays");
+
+    cfg = GpuConfig{};
+    cfg.occupancyInterval = 0;
+    EXPECT_EQ(context_of(cfg), "GpuConfig.occupancyInterval");
 
     try {
         GpuConfig::scaled(3);

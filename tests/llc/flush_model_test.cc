@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Hand-computed cases for the pure flush cost model: traffic
+ * classification and the done = max(drain, memCtrl, icn) envelope
+ * (llc/flush_model.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "llc/flush_model.hh"
+
+namespace sac::flush {
+namespace {
+
+constexpr unsigned lineBytes = 128;
+
+/** Closed-form stand-in: the memory system absorbs 2 bytes/cycle. */
+class TwoBytesPerCycleMem : public MemDrainModel
+{
+  public:
+    Cycle
+    occupyBulk(ChipId chip, std::uint64_t bytes, Cycle now) override
+    {
+        lastChip = chip;
+        ++calls;
+        return now + static_cast<Cycle>(bytes / 2);
+    }
+
+    ChipId lastChip = -1;
+    int calls = 0;
+};
+
+/** Stand-in that pins every writeback to a fixed completion cycle. */
+class FixedDoneMem : public MemDrainModel
+{
+  public:
+    explicit FixedDoneMem(Cycle done) : done_(done) {}
+
+    Cycle
+    occupyBulk(ChipId, std::uint64_t, Cycle) override
+    {
+        return done_;
+    }
+
+  private:
+    Cycle done_;
+};
+
+TEST(FlushTraffic, HomeLinesAreWritebackOnly)
+{
+    FlushTraffic t(2);
+    // A dirty line living on its home chip: writeback traffic only.
+    t.addLine(/*owner=*/0, /*home=*/0, lineBytes);
+    EXPECT_EQ(t.wbToHome[0], lineBytes);
+    EXPECT_EQ(t.wbToHome[1], 0u);
+    EXPECT_EQ(t.icnFromChip[0], 0u);
+    EXPECT_EQ(t.icnFromChip[1], 0u);
+}
+
+TEST(FlushTraffic, ReplicasAlsoCrossTheInterChipNetwork)
+{
+    FlushTraffic t(2);
+    // A dirty replica on chip 1 of data homed on chip 0: the bytes
+    // reach chip 0's memory AND leave chip 1 over the inter-chip net.
+    t.addLine(/*owner=*/1, /*home=*/0, lineBytes);
+    EXPECT_EQ(t.wbToHome[0], lineBytes);
+    EXPECT_EQ(t.wbToHome[1], 0u);
+    EXPECT_EQ(t.icnFromChip[0], 0u);
+    EXPECT_EQ(t.icnFromChip[1], lineBytes);
+}
+
+TEST(FlushModel, IcnDrainIsBytesOverBandwidthPlusLatency)
+{
+    FlushCosts costs;
+    costs.interChipBw = 4.0;
+    costs.interChipLatency = 80;
+    // 1024 B / 4 B/cy = 256 cycles on the link, plus 80 latency.
+    EXPECT_EQ(icnDrainDone(1024, costs, /*now=*/100), 100 + 256 + 80);
+}
+
+TEST(FlushModel, EmptyFlushCostsExactlyTheDrainWindow)
+{
+    FlushTraffic t(4);
+    FlushCosts costs;
+    costs.drainLatency = 200;
+    TwoBytesPerCycleMem mem;
+    EXPECT_EQ(flushDoneCycle(t, costs, /*now=*/1000, mem), 1200u);
+    EXPECT_EQ(mem.calls, 0); // no bytes, no bandwidth reservation
+}
+
+TEST(FlushModel, MemoryWritebackDominatesLocalFlush)
+{
+    // Full flush of local-only dirty lines: 8 lines on chip 1, no
+    // inter-chip traffic, memory at 2 B/cy.
+    FlushTraffic t(2);
+    for (int i = 0; i < 8; ++i)
+        t.addLine(/*owner=*/1, /*home=*/1, lineBytes);
+
+    FlushCosts costs;
+    costs.drainLatency = 200;
+    costs.interChipBw = 4.0;
+    costs.interChipLatency = 80;
+    TwoBytesPerCycleMem mem;
+    // 8 * 128 B / 2 B/cy = 512 cycles > the 200-cycle drain window.
+    EXPECT_EQ(flushDoneCycle(t, costs, /*now=*/1000, mem), 1512u);
+    EXPECT_EQ(mem.calls, 1); // only chip 1 had writeback bytes
+    EXPECT_EQ(mem.lastChip, 1);
+}
+
+TEST(FlushModel, ReplicaFlushAddsTheInterChipTerm)
+{
+    // Replica-only flush: 16 dirty replicas on chip 0 of chip-1 data.
+    // The writebacks land on chip 1's memory; the same bytes leave
+    // chip 0 over the inter-chip link.
+    FlushTraffic t(2);
+    for (int i = 0; i < 16; ++i)
+        t.addLine(/*owner=*/0, /*home=*/1, lineBytes);
+
+    FlushCosts costs;
+    costs.drainLatency = 200;
+    costs.interChipBw = 4.0;
+    costs.interChipLatency = 80;
+    // Memory completes instantly; the envelope is the icn term:
+    // 16 * 128 / 4 + 80 = 512 + 80 = 592 past `now`.
+    FixedDoneMem mem(/*done=*/0);
+    EXPECT_EQ(flushDoneCycle(t, costs, /*now=*/1000, mem),
+              1000 + 512 + 80);
+}
+
+TEST(FlushModel, EnvelopeIsTheMaxAcrossChipsAndTerms)
+{
+    // Mixed multi-chip flush on 3 chips:
+    //   chip 0 holds 4 home lines        -> wbToHome[0] = 512
+    //   chip 1 holds 8 replicas of chip 2 -> wbToHome[2] = 1024,
+    //                                        icnFromChip[1] = 1024
+    FlushTraffic t(3);
+    for (int i = 0; i < 4; ++i)
+        t.addLine(0, 0, lineBytes);
+    for (int i = 0; i < 8; ++i)
+        t.addLine(1, 2, lineBytes);
+
+    FlushCosts costs;
+    costs.drainLatency = 100;
+    costs.interChipBw = 2.0;
+    costs.interChipLatency = 40;
+    TwoBytesPerCycleMem mem;
+    // Terms past now=0: drain 100; mem chip0 512/2 = 256; mem chip2
+    // 1024/2 = 512; icn chip1 1024/2 + 40 = 552. Envelope: 552.
+    EXPECT_EQ(flushDoneCycle(t, costs, /*now=*/0, mem), 552u);
+    EXPECT_EQ(mem.calls, 2); // chips 0 and 2 had writeback bytes
+}
+
+TEST(FlushModel, DoneNeverPrecedesTheDrainWindow)
+{
+    // Even when every byte clears instantly, the drain window floors
+    // the completion cycle.
+    FlushTraffic t(2);
+    t.addLine(0, 0, lineBytes);
+    FlushCosts costs;
+    costs.drainLatency = 300;
+    FixedDoneMem mem(/*done=*/5);
+    EXPECT_EQ(flushDoneCycle(t, costs, /*now=*/50, mem), 350u);
+}
+
+} // namespace
+} // namespace sac::flush

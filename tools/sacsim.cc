@@ -58,7 +58,8 @@ struct Options
     double inputScale = 1.0;
     std::string coherence = "sw";
     unsigned sectors = 1;
-    double interChipBw = 0.0; // 0 = config default
+    double interChipBw = 0.0;    // 0 = config default
+    Cycle occupancyInterval = 0; // 0 = config default (2048)
     unsigned jobs = 1;
     std::string jsonPath;
     bool stats = false;
@@ -108,6 +109,8 @@ usage(int code)
         "  --sectors N            sectors per line: 1|2|4 (default 1)\n"
         "  --interchip-bw GBPS    per-chip inter-chip bandwidth "
         "override\n"
+        "  --occupancy-interval N cycles between Fig. 9 LLC occupancy\n"
+        "                         samples (default 2048)\n"
         "  --apw N                accesses per warp per kernel "
         "override\n"
         "  --record FILE          record the generated trace to FILE\n"
@@ -215,6 +218,8 @@ parse(int argc, char **argv)
             o.sectors = static_cast<unsigned>(std::stoul(value()));
         else if (arg == "--interchip-bw")
             o.interChipBw = std::stod(value());
+        else if (arg == "--occupancy-interval")
+            o.occupancyInterval = std::stoull(value());
         else if (arg == "--apw")
             o.apw = std::stoull(value());
         else if (arg == "--record")
@@ -452,6 +457,8 @@ run(const Options &o)
     cfg.sectorsPerLine = o.sectors;
     if (o.interChipBw > 0.0)
         cfg.interChipBw = o.interChipBw;
+    if (o.occupancyInterval > 0)
+        cfg.occupancyInterval = o.occupancyInterval;
     cfg.validate();
 
     WorkloadProfile profile = findBenchmark(o.benchmark);
