@@ -70,6 +70,8 @@ SetAssocCache::access(Addr line_addr, unsigned sector, bool is_write)
     }
     res.hit = true;
     if (is_write) {
+        if (!line->dirty)
+            ++dirtyCount_;
         line->dirty = true;
         line->sectorDirty |= bit;
     }
@@ -96,6 +98,8 @@ SetAssocCache::insert(Addr line_addr, unsigned sector, ChipId home,
         // Sector fill into an already-present line.
         line->sectorValid |= bit;
         if (dirty) {
+            if (!line->dirty)
+                ++dirtyCount_;
             line->dirty = true;
             line->sectorDirty |= bit;
         }
@@ -123,6 +127,7 @@ SetAssocCache::insert(Addr line_addr, unsigned sector, ChipId home,
         res.dirty = slot.dirty;
         res.lineAddr = slot.lineAddr;
         res.home = slot.home;
+        countRemove(slot);
     }
     slot.valid = true;
     slot.dirty = dirty;
@@ -132,6 +137,7 @@ SetAssocCache::insert(Addr line_addr, unsigned sector, ChipId home,
     slot.sectorValid = sectorsPerLine == 1 ? 1u : bit;
     slot.sectorDirty = dirty ? slot.sectorValid : 0u;
     slot.lastUse = ++useClock;
+    countInsert(slot);
     return res;
 }
 
@@ -150,6 +156,7 @@ SetAssocCache::flushIf(const std::function<bool(const CacheLine &)> &pred,
             continue;
         if (line.dirty && writeback)
             writeback(line);
+        countRemove(line);
         line = CacheLine{};
     }
 }
@@ -158,6 +165,7 @@ bool
 SetAssocCache::invalidate(Addr line_addr)
 {
     if (CacheLine *line = findLine(line_addr)) {
+        countRemove(*line);
         *line = CacheLine{};
         return true;
     }
@@ -172,31 +180,29 @@ SetAssocCache::setWaySplit(int local_ways)
     split = local_ways;
 }
 
-std::uint64_t
-SetAssocCache::validLines() const
+void
+SetAssocCache::countInsert(const CacheLine &line)
 {
-    std::uint64_t n = 0;
-    for (const auto &line : lines)
-        n += line.valid ? 1 : 0;
-    return n;
+    ++validCount_;
+    if (line.dirty)
+        ++dirtyCount_;
+    const std::size_t slot = static_cast<std::size_t>(line.home + 1);
+    if (slot >= homeCount_.size())
+        homeCount_.resize(slot + 1, 0);
+    ++homeCount_[slot];
 }
 
-std::uint64_t
-SetAssocCache::dirtyLines() const
+void
+SetAssocCache::countRemove(const CacheLine &line)
 {
-    std::uint64_t n = 0;
-    for (const auto &line : lines)
-        n += (line.valid && line.dirty) ? 1 : 0;
-    return n;
-}
-
-std::uint64_t
-SetAssocCache::remoteLines(ChipId chip) const
-{
-    std::uint64_t n = 0;
-    for (const auto &line : lines)
-        n += (line.valid && line.home != chip) ? 1 : 0;
-    return n;
+    SAC_ASSERT(validCount_ > 0, "removing from an empty cache");
+    --validCount_;
+    if (line.dirty)
+        --dirtyCount_;
+    const std::size_t slot = static_cast<std::size_t>(line.home + 1);
+    SAC_ASSERT(slot < homeCount_.size() && homeCount_[slot] > 0,
+               "home count underflow for chip ", line.home);
+    --homeCount_[slot];
 }
 
 } // namespace sac

@@ -137,12 +137,17 @@ class SetAssocCache
         return numSets * static_cast<std::uint64_t>(numWays) * lineBytes;
     }
 
-    /** Valid lines currently resident. */
-    std::uint64_t validLines() const;
-    /** Dirty lines currently resident. */
-    std::uint64_t dirtyLines() const;
-    /** Valid lines whose recorded home differs from @p chip. */
-    std::uint64_t remoteLines(ChipId chip) const;
+    /** Valid lines currently resident. O(1): counters are maintained
+     *  incrementally at every insert/evict/invalidate/flush, so the
+     *  occupancy sampler never scans the array. */
+    std::uint64_t validLines() const { return validCount_; }
+    /** Dirty lines currently resident. O(1), see validLines(). */
+    std::uint64_t dirtyLines() const { return dirtyCount_; }
+    /** Valid lines whose recorded home differs from @p chip. O(1). */
+    std::uint64_t remoteLines(ChipId chip) const
+    {
+        return validCount_ - homeCount(chip);
+    }
 
     /** Set index for an address (exposed for the CRD's sampling). */
     std::uint64_t setIndex(Addr line_addr) const;
@@ -150,6 +155,17 @@ class SetAssocCache
   private:
     CacheLine *findLine(Addr line_addr);
     const CacheLine *findLine(Addr line_addr) const;
+
+    /** Counter bookkeeping for a line entering the valid set. */
+    void countInsert(const CacheLine &line);
+    /** Counter bookkeeping for a valid line leaving the array. */
+    void countRemove(const CacheLine &line);
+    /** Resident-line count for one home chip (slot 0 = invalidChip). */
+    std::uint64_t homeCount(ChipId home) const
+    {
+        const std::size_t slot = static_cast<std::size_t>(home + 1);
+        return slot < homeCount_.size() ? homeCount_[slot] : 0;
+    }
 
     std::uint64_t numSets;
     int numWays;
@@ -160,6 +176,11 @@ class SetAssocCache
     std::uint64_t useClock = 0;
     std::unique_ptr<ReplacementPolicy> repl;
     std::vector<CacheLine> lines; // numSets x numWays, row-major
+    std::uint64_t validCount_ = 0;
+    std::uint64_t dirtyCount_ = 0;
+    /** Valid lines per home chip, indexed by home + 1 (invalidChip
+     *  lands in slot 0); grown on demand. */
+    std::vector<std::uint64_t> homeCount_;
 };
 
 } // namespace sac

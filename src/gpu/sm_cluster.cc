@@ -26,6 +26,8 @@ SmCluster::beginKernel(std::uint64_t accesses_per_warp, Cycle now)
     SAC_ASSERT(l1Mshrs.inUse() == 0 && outstandingWrites == 0,
                "kernel launch with outstanding memory traffic");
     sched.reset();
+    mshrParked_.clear();
+    writeParked_.clear();
     retiredWarps = 0;
     for (std::size_t w = 0; w < warps.size(); ++w) {
         warps[w] = WarpCtx{};
@@ -56,6 +58,26 @@ SmCluster::makePacket(const MemAccess &acc, int warp, Cycle now) const
     return pkt;
 }
 
+void
+SmCluster::park(int warp, const MemAccess &acc, std::deque<int> &queue)
+{
+    WarpCtx &ctx = warps[static_cast<std::size_t>(warp)];
+    ctx.stalled = acc;
+    ctx.hasStalled = true;
+    sched.consume(warp);
+    queue.push_back(warp);
+}
+
+void
+SmCluster::resumeParked(std::deque<int> &queue, Cycle now)
+{
+    if (queue.empty())
+        return;
+    const int w = queue.front();
+    queue.pop_front();
+    sched.wake(w, now);
+}
+
 bool
 SmCluster::issueOne(Cycle now, ClusterEnv &env)
 {
@@ -66,11 +88,15 @@ SmCluster::issueOne(Cycle now, ClusterEnv &env)
     SAC_ASSERT(!warp.retired && !warp.blocked && warp.remaining > 0,
                "scheduler surfaced an unready warp");
 
-    const MemAccess acc = trace_.next(chip_, id_, w);
+    // A warp resuming from a structural stall re-issues the access it
+    // drew when it parked; the trace is independent of stall length.
+    const MemAccess acc =
+        warp.hasStalled ? warp.stalled : trace_.next(chip_, id_, w);
+    warp.hasStalled = false;
     if (acc.type == AccessType::Write) {
         if (outstandingWrites >= cfg_.clusterMshrs) {
             ++stats_.stallsWriteCap;
-            sched.defer(w);
+            park(w, acc, writeParked_);
             return false;
         }
         ++stats_.accesses;
@@ -112,7 +138,7 @@ SmCluster::issueOne(Cycle now, ClusterEnv &env)
     const auto outcome = l1Mshrs.allocate(pkt);
     if (outcome == MshrFile::Outcome::Full) {
         ++stats_.stallsMshrFull;
-        sched.defer(w);
+        park(w, acc, mshrParked_);
         return false;
     }
     ++nextPktId;
@@ -149,6 +175,45 @@ SmCluster::tick(Cycle now, ClusterEnv &env)
 }
 
 void
+SmCluster::bind(ClusterEnv &env, BwQueue &resp_port, std::string name)
+{
+    env_ = &env;
+    respPort_ = &resp_port;
+    name_ = std::move(name);
+}
+
+void
+SmCluster::tick(Cycle now)
+{
+    SAC_ASSERT(env_ && respPort_, "unbound cluster component ticked");
+    // Reference phase order inside Chip::tickClusters: refill and
+    // drain this cluster's response port, then issue.
+    respPort_->beginCycle();
+    Packet resp;
+    while (respPort_->tryPop(resp, now))
+        deliver(resp, now);
+    tick(now, *env_);
+}
+
+Cycle
+SmCluster::nextEventCycle(Cycle now) const
+{
+    const Cycle issue = issueEventCycle(now);
+    if (!respPort_)
+        return issue;
+    return std::min(issue, respPort_->nextEventCycle(now));
+}
+
+void
+SmCluster::skipIdleCycles(Cycle cycles)
+{
+    // The warp scheduler is timestamp-based; only the response port
+    // accumulates per-cycle bandwidth credit.
+    if (respPort_)
+        respPort_->skipIdleCycles(cycles);
+}
+
+void
 SmCluster::deliver(const Packet &resp, Cycle now)
 {
     SAC_ASSERT(resp.kind == PacketKind::Response, "non-response at cluster");
@@ -157,6 +222,8 @@ SmCluster::deliver(const Packet &resp, Cycle now)
     if (resp.type == AccessType::Write) {
         SAC_ASSERT(outstandingWrites > 0, "stray write ack");
         --outstandingWrites;
+        // The freed write slot goes to the longest-parked stalled warp.
+        resumeParked(writeParked_, now);
         return;
     }
     // Read fill: install in the L1 (clean; the L1 is write-through) and
@@ -165,6 +232,9 @@ SmCluster::deliver(const Packet &resp, Cycle now)
               partitionLocal);
     const auto targets = l1Mshrs.complete(resp.lineAddr, resp.sector);
     SAC_ASSERT(!targets.empty(), "fill with no waiting warps");
+    // complete() freed one MSHR entry: hand it to the longest-parked
+    // warp (its cached access may even hit the L1 or merge by now).
+    resumeParked(mshrParked_, now);
     for (const auto &t : targets) {
         WarpCtx &warp = warps[static_cast<std::size_t>(t.warp)];
         SAC_ASSERT(warp.inFlight > 0, "fill for a warp with no loads");

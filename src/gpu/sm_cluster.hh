@@ -13,6 +13,8 @@
 #define SAC_GPU_SM_CLUSTER_HH
 
 #include <algorithm>
+#include <deque>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -22,6 +24,7 @@
 #include "gpu/kernel.hh"
 #include "gpu/warp.hh"
 #include "noc/queue.hh"
+#include "sim/sched.hh"
 
 namespace sac {
 
@@ -55,11 +58,30 @@ struct ClusterStats
 };
 
 /** One SM cluster. */
-class SmCluster
+class SmCluster : public sim::Component
 {
   public:
     SmCluster(const GpuConfig &cfg, ChipId chip, ClusterId id,
               TraceSource &trace);
+
+    /**
+     * Binds the scheduling-unit view (sim::Component): this cluster
+     * plus the response-crossbar port that feeds it. Must be called
+     * before the Component overrides are used.
+     */
+    void bind(ClusterEnv &env, BwQueue &resp_port, std::string name);
+
+    // --- sim::Component ---------------------------------------------------
+    const char *name() const override { return name_.c_str(); }
+    /**
+     * One reference cluster phase: refill and drain the bound
+     * response port into deliver(), then issue via tick(now, env).
+     */
+    void tick(Cycle now) override;
+    /** min(response-port event, issue event) for the bound unit. */
+    Cycle nextEventCycle(Cycle now) const override;
+    /** Replays idle refills of the bound response port. */
+    void skipIdleCycles(Cycle cycles) override;
 
     /** Starts a kernel: every warp gets @p accesses_per_warp to issue. */
     void beginKernel(std::uint64_t accesses_per_warp, Cycle now);
@@ -87,13 +109,13 @@ class SmCluster
 
     /**
      * Earliest cycle this cluster might issue an access: now when a
-     * warp is ready (even if it would stall — the stall-resolving
-     * fill is another component's event), else the earliest pending
-     * wake, both clamped to the pause window. cycleNever when every
-     * warp is blocked or retired; blocked warps are woken by
-     * responses, which are response-crossbar events.
+     * warp is ready, else the earliest pending wake, both clamped to
+     * the pause window. cycleNever when every warp is blocked, parked
+     * or retired: blocked and parked warps resume only from deliver(),
+     * and the responses that trigger deliver() are response-port
+     * events, so sleeping through them is impossible.
      */
-    Cycle nextEventCycle(Cycle now) const
+    Cycle issueEventCycle(Cycle now) const
     {
         if (sched.hasReady())
             return std::max(now, pausedUntil);
@@ -116,16 +138,33 @@ class SmCluster
   private:
     bool issueOne(Cycle now, ClusterEnv &env);
     Packet makePacket(const MemAccess &acc, int warp, Cycle now) const;
+    /** Parks @p warp off the ready list with @p acc cached until the
+     *  stalling cap frees (see WarpCtx::stalled). */
+    void park(int warp, const MemAccess &acc, std::deque<int> &queue);
+    /** Returns the longest-parked warp in @p queue to the ready list. */
+    void resumeParked(std::deque<int> &queue, Cycle now);
 
     ChipId chip_;
     ClusterId id_;
     const GpuConfig &cfg_;
     TraceSource &trace_;
 
+    // Scheduling-unit binding (sim::Component); null until bind().
+    ClusterEnv *env_ = nullptr;
+    BwQueue *respPort_ = nullptr;
+    std::string name_;
+
     SetAssocCache l1;
     MshrFile l1Mshrs;
     WarpScheduler sched;
     std::vector<WarpCtx> warps;
+
+    // Warps parked on a full MSHR file / outstanding-write cap, in
+    // park order. Resumed one-per-freed-slot from deliver(); a parked
+    // warp always implies in-flight traffic, so resumption is never
+    // starved (see issueEventCycle()).
+    std::deque<int> mshrParked_;
+    std::deque<int> writeParked_;
 
     int outstandingWrites = 0;
     int retiredWarps = 0;

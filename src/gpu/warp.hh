@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "gpu/kernel.hh"
 
 namespace sac {
 
@@ -34,6 +35,14 @@ struct WarpCtx
     std::uint16_t pendingGap = 0;
     /** Issued everything and nothing outstanding. */
     bool retired = false;
+    /**
+     * Access drawn from the trace but stalled on a structural cap
+     * (MSHR file or outstanding-write cap). The warp is parked off the
+     * ready list until the cap frees and re-issues exactly this access
+     * — the trace never depends on how long the stall lasted.
+     */
+    MemAccess stalled;
+    bool hasStalled = false;
 };
 
 /**

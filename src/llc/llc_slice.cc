@@ -1,8 +1,10 @@
 #include "llc/llc_slice.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.hh"
+#include "mem/mem_ctrl.hh"
 
 namespace sac {
 
@@ -44,6 +46,28 @@ void
 LlcSlice::pushFill(const Packet &pkt)
 {
     fillQ.push_back(pkt);
+}
+
+void
+LlcSlice::bind(SliceEnv &env, const MemCtrl &mem, std::string name)
+{
+    env_ = &env;
+    mem_ = &mem;
+    name_ = std::move(name);
+}
+
+void
+LlcSlice::tick(Cycle now)
+{
+    SAC_ASSERT(env_, "unbound slice component ticked");
+    tick(now, *env_);
+}
+
+Cycle
+LlcSlice::nextEventCycle(Cycle now) const
+{
+    SAC_ASSERT(env_ && mem_, "unbound slice component queried");
+    return nextEventCycle(now, *env_, mem_->nextEventCycle(now));
 }
 
 void

@@ -23,6 +23,7 @@
 #define SAC_LLC_LLC_SLICE_HH
 
 #include <deque>
+#include <string>
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
@@ -30,6 +31,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/queue.hh"
+#include "sim/sched.hh"
 
 namespace sac {
 
@@ -70,11 +72,28 @@ struct SliceStats
     std::uint64_t stallsMshrFull = 0;
 };
 
+class MemCtrl;
+
 /** One LLC slice. */
-class LlcSlice
+class LlcSlice : public sim::Component
 {
   public:
     LlcSlice(const GpuConfig &cfg, ChipId chip, int index);
+
+    /**
+     * Binds the scheduling-unit view (sim::Component): the chip-side
+     * environment plus the memory controller whose next completion
+     * bounds a blocked miss queue's retry. Must be called before the
+     * Component overrides are used.
+     */
+    void bind(SliceEnv &env, const MemCtrl &mem, std::string name);
+
+    // --- sim::Component ---------------------------------------------------
+    const char *name() const override { return name_.c_str(); }
+    /** One reference slice phase: tick(now, bound env). */
+    void tick(Cycle now) override;
+    /** nextEventCycle(now, bound env, bound controller's next). */
+    Cycle nextEventCycle(Cycle now) const override;
 
     /** Input queue: the crossbar port that feeds this slice. */
     BwQueue &inQueue() { return inQ; }
@@ -107,7 +126,7 @@ class LlcSlice
                          Cycle mem_next) const;
 
     /** Replays @p cycles idle refills (input queues + array budget). */
-    void skipIdleCycles(Cycle cycles);
+    void skipIdleCycles(Cycle cycles) override;
 
     /** Tag/state array (flush and partition control live here). */
     SetAssocCache &cache() { return array; }
@@ -142,6 +161,12 @@ class LlcSlice
 
     ChipId chip_;
     int index_;
+
+    // Scheduling-unit binding (sim::Component); null until bind().
+    SliceEnv *env_ = nullptr;
+    const MemCtrl *mem_ = nullptr;
+    std::string name_;
+
     unsigned lineBytes;
     unsigned sectorBytes;
     unsigned requestBytes;

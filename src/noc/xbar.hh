@@ -53,6 +53,14 @@ class Xbar
     /** Replays @p cycles idle refills on every port queue. */
     void skipIdleCycles(Cycle cycles);
 
+    /** Direct access to one output-port queue (per-port scheduling). */
+    BwQueue &port(int port) { return queues[static_cast<std::size_t>(port)]; }
+    const BwQueue &
+    port(int port) const
+    {
+        return queues[static_cast<std::size_t>(port)];
+    }
+
     int ports() const { return static_cast<int>(queues.size()); }
     std::size_t queued(int port) const;
     std::uint64_t bytesDrained() const;

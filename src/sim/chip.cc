@@ -10,7 +10,7 @@ Chip::Chip(const GpuConfig &cfg, const AddressMap &map, ChipId id,
            TraceSource &trace, ChipHooks &hooks)
     : cfg_(cfg), map_(map), id_(id), hooks(hooks),
       respXbar(cfg.clustersPerChip, cfg.xbarPortBw, cfg.xbarLatency),
-      mem(cfg, map, id)
+      mem(cfg, map, id), memUnit_(*this)
 {
     clusters.reserve(static_cast<std::size_t>(cfg.clustersPerChip));
     for (ClusterId c = 0; c < cfg.clustersPerChip; ++c)
@@ -18,6 +18,37 @@ Chip::Chip(const GpuConfig &cfg, const AddressMap &map, ChipId id,
     slices.reserve(static_cast<std::size_t>(cfg.slicesPerChip));
     for (int s = 0; s < cfg.slicesPerChip; ++s)
         slices.push_back(std::make_unique<LlcSlice>(cfg, id, s));
+    memUnit_.setName("c" + std::to_string(id_) + ".mem");
+}
+
+void
+Chip::registerClusterComponents(sim::Scheduler &sched, ClusterEnv &env)
+{
+    sched_ = &sched;
+    clusterIds_.reserve(clusters.size());
+    for (auto &cluster : clusters) {
+        cluster->bind(env, respXbar.port(cluster->id()),
+                      "c" + std::to_string(id_) + ".cluster" +
+                          std::to_string(cluster->id()));
+        clusterIds_.push_back(sched.add(*cluster));
+    }
+}
+
+void
+Chip::registerSliceComponents(sim::Scheduler &sched)
+{
+    sliceIds_.reserve(slices.size());
+    for (auto &slice : slices) {
+        slice->bind(*this, mem, "c" + std::to_string(id_) + ".slice" +
+                                    std::to_string(slice->index()));
+        sliceIds_.push_back(sched.add(*slice));
+    }
+}
+
+void
+Chip::registerMemoryComponent(sim::Scheduler &sched)
+{
+    memId_ = sched.add(memUnit_);
 }
 
 void
@@ -54,22 +85,36 @@ Chip::acceptIcnArrival(Packet pkt, Cycle now)
             } else {
                 directBypassQ.push_back(pkt);
             }
+            if (sched_)
+                sched_->wake(memId_, mem.nextEventCycle(now));
             return;
         }
         if (pkt.atHome || pkt.bypassLlc ||
             pkt.kind == PacketKind::Writeback) {
             // Home-level / bypass virtual channel (deadlock freedom).
-            slices[static_cast<std::size_t>(pkt.slice)]->vcQueue().push(
-                pkt, now);
+            auto &slice = *slices[static_cast<std::size_t>(pkt.slice)];
+            slice.vcQueue().push(pkt, now);
+            if (sched_) {
+                sched_->wake(sliceIds_[static_cast<std::size_t>(pkt.slice)],
+                             slice.vcQueue().nextEventCycle(now));
+            }
         } else {
-            slices[static_cast<std::size_t>(pkt.slice)]->inQueue().push(
-                pkt, now);
+            auto &slice = *slices[static_cast<std::size_t>(pkt.slice)];
+            slice.inQueue().push(pkt, now);
+            if (sched_) {
+                sched_->wake(sliceIds_[static_cast<std::size_t>(pkt.slice)],
+                             slice.inQueue().nextEventCycle(now));
+            }
         }
         return;
       case PacketKind::Response:
         if (!pkt.serveFilled && pkt.serveChip == id_) {
             SAC_ASSERT(pkt.slice >= 0, "fill without a slice");
             slices[static_cast<std::size_t>(pkt.slice)]->pushFill(pkt);
+            if (sched_) {
+                sched_->wake(sliceIds_[static_cast<std::size_t>(pkt.slice)],
+                             now);
+            }
             return;
         }
         SAC_ASSERT(pkt.srcChip == id_, "response arrived at wrong chip");
@@ -95,23 +140,37 @@ Chip::tickMemory(Cycle now)
         mem.push(directBypassQ.front(), now);
         directBypassQ.pop_front();
     }
-    for (auto &fill : mem.tick(now))
+    const auto fills = mem.tick(now);
+    for (const auto &fill : fills)
         dispatchFill(fill, now);
+    if (sched_ && !fills.empty()) {
+        // Completions freed memory-queue slots: slices parked on a
+        // full controller queue can retry their missQ heads. The
+        // scheduler clamps these to the next cycle (slice phase
+        // precedes memory phase), matching the reference retry cycle.
+        for (std::size_t s = 0; s < slices.size(); ++s) {
+            if (slices[s]->missQueued() > 0)
+                sched_->wake(sliceIds_[s], now);
+        }
+    }
 }
 
 void
 Chip::dispatchFill(Packet pkt, Cycle now)
 {
-    (void)now;
     // A memory fill completes either the home level of a partitioned
     // lookup (fill here) or the serve level (here or on another chip).
     if (pkt.atHome && !pkt.homeFilled) {
         SAC_ASSERT(pkt.homeChip == id_, "home fill on wrong chip");
         slices[static_cast<std::size_t>(pkt.slice)]->pushFill(pkt);
+        if (sched_)
+            sched_->wake(sliceIds_[static_cast<std::size_t>(pkt.slice)], now);
         return;
     }
     if (pkt.serveChip == id_) {
         slices[static_cast<std::size_t>(pkt.slice)]->pushFill(pkt);
+        if (sched_)
+            sched_->wake(sliceIds_[static_cast<std::size_t>(pkt.slice)], now);
     } else {
         // SM-side remote miss: the fill crosses back to the
         // requester's chip and fills its slice there.
@@ -128,7 +187,10 @@ Chip::memCanAccept(Addr line_addr) const
 void
 Chip::memPush(const Packet &pkt)
 {
-    mem.push(pkt, hooks.now());
+    const Cycle now = hooks.now();
+    mem.push(pkt, now);
+    if (sched_)
+        sched_->wake(memId_, mem.nextEventCycle(now));
 }
 
 void
@@ -143,7 +205,13 @@ Chip::respondCluster(Packet pkt)
     SAC_ASSERT(pkt.srcChip == id_, "response for another chip's cluster");
     if (pkt.type == AccessType::Read)
         hooks.countResponse(pkt);
-    respXbar.push(pkt.srcCluster, pkt, hooks.now());
+    const Cycle now = hooks.now();
+    const ClusterId target = pkt.srcCluster;
+    respXbar.push(target, pkt, now);
+    if (sched_) {
+        sched_->wake(clusterIds_[static_cast<std::size_t>(target)],
+                     respXbar.port(target).nextEventCycle(now));
+    }
 }
 
 void
@@ -168,14 +236,22 @@ void
 Chip::pushLocalRequest(const Packet &pkt, Cycle now)
 {
     SAC_ASSERT(pkt.serveChip == id_, "local push for a remote serve chip");
-    slices[static_cast<std::size_t>(pkt.slice)]->inQueue().push(pkt, now);
+    auto &slice = *slices[static_cast<std::size_t>(pkt.slice)];
+    slice.inQueue().push(pkt, now);
+    if (sched_) {
+        sched_->wake(sliceIds_[static_cast<std::size_t>(pkt.slice)],
+                     slice.inQueue().nextEventCycle(now));
+    }
 }
 
 void
 Chip::beginKernel(std::uint64_t accesses_per_warp, Cycle now)
 {
-    for (auto &cluster : clusters)
-        cluster->beginKernel(accesses_per_warp, now);
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        clusters[c]->beginKernel(accesses_per_warp, now);
+        if (sched_)
+            sched_->wake(clusterIds_[c], now);
+    }
 }
 
 void
@@ -208,30 +284,21 @@ Chip::setWaySplit(int local_ways)
 }
 
 Cycle
-Chip::nextEventCycle(Cycle now) const
+Chip::memoryEventCycle(Cycle now) const
 {
     const Cycle mem_next = mem.nextEventCycle(now);
-    Cycle next = mem_next;
-    for (const auto &cluster : clusters)
-        next = std::min(next, cluster->nextEventCycle(now));
-    next = std::min(next, respXbar.nextEventCycle(now));
-    if (!directBypassQ.empty()) {
-        next = std::min(next,
-                        mem.canAccept(directBypassQ.front().lineAddr)
-                            ? now
-                            : mem_next);
+    if (!directBypassQ.empty() &&
+        mem.canAccept(directBypassQ.front().lineAddr)) {
+        return now;
     }
-    for (const auto &slice : slices)
-        next = std::min(next, slice->nextEventCycle(now, *this, mem_next));
-    return next;
+    return mem_next;
 }
 
 void
-Chip::skipIdleCycles(Cycle cycles)
+Chip::wakeMemory(Cycle now)
 {
-    respXbar.skipIdleCycles(cycles);
-    for (auto &slice : slices)
-        slice->skipIdleCycles(cycles);
+    if (sched_)
+        sched_->wake(memId_, memoryEventCycle(now));
 }
 
 bool

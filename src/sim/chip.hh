@@ -9,6 +9,7 @@
 #define SAC_SIM_CHIP_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -19,6 +20,7 @@
 #include "mem/address_map.hh"
 #include "mem/mem_ctrl.hh"
 #include "noc/xbar.hh"
+#include "sim/sched.hh"
 
 namespace sac {
 
@@ -91,17 +93,29 @@ class Chip : public SliceEnv
     /** Applies a way split to every slice (Static/Dynamic orgs). */
     void setWaySplit(int local_ways);
 
-    // --- fast-forward -----------------------------------------------------
+    // --- scheduling (sim::Component registration) -------------------------
     /**
-     * Earliest cycle anything on this chip might do work: cluster
-     * issue/wakes, response-crossbar drains, slice queues, blocked
-     * bypass retries and DRAM completions. cycleNever when the chip
-     * is fully quiescent (then only off-chip arrivals can wake it).
+     * Registers this chip's schedulable units with @p sched. Three
+     * separate passes because registration ordinal == reference phase
+     * order, and the reference loop runs each phase across all chips
+     * before the next: System calls registerClusterComponents for
+     * every chip, then registers the network, then
+     * registerSliceComponents for every chip, then
+     * registerMemoryComponent for every chip.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    void registerClusterComponents(sim::Scheduler &sched, ClusterEnv &env);
+    void registerSliceComponents(sim::Scheduler &sched);
+    void registerMemoryComponent(sim::Scheduler &sched);
 
-    /** Replays @p cycles idle bandwidth refills on every queue. */
-    void skipIdleCycles(Cycle cycles);
+    /**
+     * Earliest cycle the memory phase might do work: a DRAM
+     * completion, or a blocked two-NoC bypass retry that can proceed
+     * now. The MemoryUnit component's nextEventCycle.
+     */
+    Cycle memoryEventCycle(Cycle now) const;
+
+    /** Wakes the memory component (out-of-band occupancy changes). */
+    void wakeMemory(Cycle now);
 
     // --- queries ----------------------------------------------------------
     bool clustersDone() const;
@@ -125,6 +139,29 @@ class Chip : public SliceEnv
     ChipId id() const { return id_; }
 
   private:
+    /**
+     * The chip's memory phase (bypass-queue retry, DRAM tick, fill
+     * dispatch) as one schedulable unit. DRAM is timestamp-based, so
+     * the default no-op skipIdleCycles is exact.
+     */
+    class MemoryUnit final : public sim::Component
+    {
+      public:
+        explicit MemoryUnit(Chip &chip) : chip_(chip) {}
+        void setName(std::string name) { name_ = std::move(name); }
+        const char *name() const override { return name_.c_str(); }
+        void tick(Cycle now) override { chip_.tickMemory(now); }
+        Cycle
+        nextEventCycle(Cycle now) const override
+        {
+            return chip_.memoryEventCycle(now);
+        }
+
+      private:
+        Chip &chip_;
+        std::string name_;
+    };
+
     void dispatchFill(Packet pkt, Cycle now);
 
     const GpuConfig &cfg_;
@@ -140,6 +177,13 @@ class Chip : public SliceEnv
     MemCtrl mem;
     /** Bypass requests waiting for memory-queue space (two-NoC mode). */
     std::deque<Packet> directBypassQ;
+
+    // Scheduling registration (null/empty until System registers us).
+    sim::Scheduler *sched_ = nullptr;
+    std::vector<sim::ComponentId> clusterIds_;
+    std::vector<sim::ComponentId> sliceIds_;
+    sim::ComponentId memId_ = sim::invalidComponent;
+    MemoryUnit memUnit_;
 };
 
 } // namespace sac

@@ -15,135 +15,6 @@
 
 namespace sac {
 
-double
-dataScale(const GpuConfig &cfg)
-{
-    const double paper_llc = 16.0 * 1024.0 * 1024.0;
-    return paper_llc / static_cast<double>(cfg.llcBytesTotal());
-}
-
-std::vector<KernelDescriptor>
-kernelsFor(const WorkloadProfile &profile)
-{
-    std::vector<KernelDescriptor> kernels;
-    kernels.reserve(static_cast<std::size_t>(profile.numKernels));
-    for (int k = 0; k < profile.numKernels; ++k) {
-        KernelDescriptor d;
-        d.index = k;
-        d.name = profile.name + "-k" + std::to_string(k);
-        d.accessesPerWarp = profile.phase(k).accessesPerWarp;
-        kernels.push_back(d);
-    }
-    return kernels;
-}
-
-const std::vector<OrgKind> &
-ExperimentPlan::allOrganizations()
-{
-    static const std::vector<OrgKind> orgs = {
-        OrgKind::MemorySide, OrgKind::SmSide, OrgKind::StaticLlc,
-        OrgKind::DynamicLlc, OrgKind::Sac};
-    return orgs;
-}
-
-ExperimentPlan &
-ExperimentPlan::add(ExperimentJob job)
-{
-    if (job.label.empty())
-        job.label = job.profile.name + "/" + toString(job.org);
-    if (!job.telemetry.enabled())
-        job.telemetry = telemetryDefault_;
-    job.fastForward = job.fastForward && fastForwardDefault_;
-    if (!job.limits.any())
-        job.limits = limitsDefault_;
-    if (!job.fault.enabled()) {
-        if (const FaultSpec *spec = faults_.find(job.label))
-            job.fault = *spec;
-    }
-    jobs_.push_back(std::move(job));
-    return *this;
-}
-
-ExperimentPlan &
-ExperimentPlan::add(const WorkloadProfile &profile, const GpuConfig &cfg,
-                    OrgKind org, std::uint64_t seed, std::string label)
-{
-    ExperimentJob job;
-    job.profile = profile;
-    job.config = cfg;
-    job.org = org;
-    job.seed = seed;
-    job.label = std::move(label);
-    return add(std::move(job));
-}
-
-ExperimentPlan &
-ExperimentPlan::addOrgSweep(const WorkloadProfile &profile,
-                            const GpuConfig &cfg,
-                            const std::vector<OrgKind> &orgs,
-                            std::uint64_t seed)
-{
-    for (const auto org : orgs)
-        add(profile, cfg, org, seed);
-    return *this;
-}
-
-ExperimentPlan &
-ExperimentPlan::enableTelemetry(const telemetry::Options &opts)
-{
-    telemetryDefault_ = opts;
-    for (auto &job : jobs_) {
-        if (!job.telemetry.enabled())
-            job.telemetry = opts;
-    }
-    return *this;
-}
-
-ExperimentPlan &
-ExperimentPlan::setFastForward(bool enabled)
-{
-    fastForwardDefault_ = enabled;
-    for (auto &job : jobs_)
-        job.fastForward = enabled;
-    return *this;
-}
-
-ExperimentPlan &
-ExperimentPlan::setLimits(const RunLimits &limits)
-{
-    limitsDefault_ = limits;
-    for (auto &job : jobs_) {
-        if (!job.limits.any())
-            job.limits = limits;
-    }
-    return *this;
-}
-
-ExperimentPlan &
-ExperimentPlan::setFaultPlan(FaultPlan faults)
-{
-    faults_ = std::move(faults);
-    for (auto &job : jobs_) {
-        if (const FaultSpec *spec = faults_.find(job.label))
-            job.fault = *spec;
-    }
-    return *this;
-}
-
-ExperimentPlan &
-ExperimentPlan::setRetry(const RetryPolicy &retry)
-{
-    retry_ = retry;
-    return *this;
-}
-
-ExperimentPlan &
-ExperimentPlan::setCheckpoint(std::string path)
-{
-    checkpoint_ = std::move(path);
-    return *this;
-}
-
 ExperimentEngine::ExperimentEngine(unsigned threads) : threads_(threads) {}
 
 RunRecord

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Experiment plan construction: the pure value types describing WHAT
+ * to simulate, split from the ExperimentEngine that decides HOW
+ * (sim/engine.hh).
+ *
+ * An ExperimentPlan is a declarative list of independent simulation
+ * jobs — (workload, config, organization, seed) tuples with a display
+ * label — plus plan-wide policy (telemetry defaults, limits, retry,
+ * fault plan, checkpoint path). Nothing in here runs anything; a plan
+ * is data, and two equal plans are interchangeable.
+ *
+ * That property is load-bearing: every job has a *stable canonical
+ * content hash* over exactly the fields that determine its simulated
+ * results (config, workload, seed, organization, schema version —
+ * see canonicalJobKey()). The future sacsimd result cache keys on
+ * this hash, so it deliberately excludes anything that cannot change
+ * measurements: labels, telemetry options, fast-forward, watchdog
+ * limits, fault specs, retry policy, checkpoint paths. The hash is
+ * versioned by planSchemaVersion; bump it whenever the canonical key
+ * gains, loses or reorders a field.
+ */
+
+#ifndef SAC_SIM_PLAN_HH
+#define SAC_SIM_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "gpu/kernel.hh"
+#include "llc/organization.hh"
+#include "sim/fault_injection.hh"
+#include "sim/watchdog.hh"
+#include "telemetry/timeline.hh"
+#include "workload/profile.hh"
+
+namespace sac {
+
+/**
+ * Canonical-key schema version. Participates in every content hash,
+ * so old cached results can never be confused with results produced
+ * under a different key layout.
+ */
+extern const char *const planSchemaVersion;
+
+/**
+ * Data-scale divisor matching @p cfg (paper LLC / cfg LLC): scaled
+ * machines run proportionally scaled data sets so data:capacity
+ * ratios are preserved.
+ */
+double dataScale(const GpuConfig &cfg);
+
+/** Kernel sequence implied by a profile's phases. */
+std::vector<KernelDescriptor> kernelsFor(const WorkloadProfile &profile);
+
+/** One independent simulation: everything a worker needs to run it. */
+struct ExperimentJob
+{
+    WorkloadProfile profile;
+    GpuConfig config;
+    OrgKind org = OrgKind::MemorySide;
+    /** Per-job RNG seed; fully determines the generated trace. */
+    std::uint64_t seed = 1;
+    /** Display label ("CFD/sac"); defaulted by ExperimentPlan::add. */
+    std::string label;
+    /**
+     * Timeline/event-trace options for this job's System. Disabled by
+     * default; timelines contain only simulated-time data, so enabling
+     * them never perturbs the measurements.
+     */
+    telemetry::Options telemetry;
+    /**
+     * Event-driven advance for this job's System (see
+     * System::setFastForward). On by default; results are
+     * bit-identical either way, so turning it off is only useful for
+     * differential testing of the scheduling layer itself.
+     */
+    bool fastForward = true;
+    /**
+     * Watchdog deadlines for this job (cycle budget, wall-clock
+     * budget, livelock cap override). Zeroed = no deadlines beyond
+     * the built-in livelock cap.
+     */
+    RunLimits limits;
+    /** Deterministic injected fault; defaulted from the plan's
+     *  FaultPlan by label. Kind::None = run clean. */
+    FaultSpec fault;
+};
+
+/**
+ * The canonical serialization of everything that determines @p job's
+ * simulated results: schema version, organization, seed, every
+ * GpuConfig field and the full workload profile (phases included).
+ * Field order and formatting are frozen per planSchemaVersion;
+ * doubles print with enough digits to round-trip (%.17g), so equal
+ * keys mean bit-equal inputs. Human-readable by design — a cache can
+ * store it next to the hash for collision audits.
+ */
+std::string canonicalJobKey(const ExperimentJob &job);
+
+/** FNV-1a 64-bit over canonicalJobKey(job): the result-cache key. */
+std::uint64_t contentHash(const ExperimentJob &job);
+
+/**
+ * Bounded retry for TransientError failures. Retries happen inline
+ * on the worker that ran the failing attempt, so scheduling stays
+ * deterministic; backoff doubles per retry and burns wall-clock
+ * only, never simulated time.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per job (first try included). */
+    int maxAttempts = 3;
+    /** Sleep before retry k is backoffMs * 2^(k-1) milliseconds. */
+    double backoffMs = 0.0;
+};
+
+/**
+ * An ordered list of jobs. Builder methods return *this so plans can
+ * be assembled fluently:
+ *
+ *   ExperimentPlan plan;
+ *   plan.addOrgSweep(findBenchmark("CFD"), cfg, allOrganizations());
+ */
+class ExperimentPlan
+{
+  public:
+    /** The five organizations in the paper's presentation order. */
+    static const std::vector<OrgKind> &allOrganizations();
+
+    /** Appends one job; an empty label becomes "<name>/<org>". */
+    ExperimentPlan &add(ExperimentJob job);
+
+    /** Convenience overload building the job in place. */
+    ExperimentPlan &add(const WorkloadProfile &profile,
+                        const GpuConfig &cfg, OrgKind org,
+                        std::uint64_t seed = 1, std::string label = "");
+
+    /** One job per organization, in the given order. */
+    ExperimentPlan &addOrgSweep(
+        const WorkloadProfile &profile, const GpuConfig &cfg,
+        const std::vector<OrgKind> &orgs = allOrganizations(),
+        std::uint64_t seed = 1);
+
+    /**
+     * Applies @p opts to every job already in the plan and to jobs
+     * added later (a job whose own options are already enabled keeps
+     * them).
+     */
+    ExperimentPlan &enableTelemetry(const telemetry::Options &opts);
+
+    /**
+     * Sets event-driven advance for every job already in the plan
+     * and for jobs added later. Results are unaffected either way
+     * (the differential tests prove it); off means the per-cycle
+     * reference loop.
+     */
+    ExperimentPlan &setFastForward(bool enabled);
+
+    /**
+     * Applies watchdog limits to every job already in the plan whose
+     * own limits are unset, and to jobs added later.
+     */
+    ExperimentPlan &setLimits(const RunLimits &limits);
+
+    /**
+     * Attaches a fault plan: each job whose label has an entry gets
+     * that FaultSpec (existing jobs re-matched, later adds matched in
+     * add()). Deterministic by construction — faults are keyed by
+     * label and fire at simulated cycles.
+     */
+    ExperimentPlan &setFaultPlan(FaultPlan faults);
+
+    /** Retry policy for TransientError failures (default: 3 tries,
+     *  no backoff). */
+    ExperimentPlan &setRetry(const RetryPolicy &retry);
+
+    /**
+     * Attaches a JSONL checkpoint file: completed jobs append to it
+     * as they finish, and a rerun restores ok records (matched by
+     * index|label|seed) instead of re-executing them. The file is
+     * created on first use; a partially written or corrupted file is
+     * tolerated (bad lines are skipped and those jobs re-run).
+     */
+    ExperimentPlan &setCheckpoint(std::string path);
+
+    /**
+     * Order-sensitive content hash of the whole plan: the chained
+     * per-job hashes under the current schema version. Two plans with
+     * the same hash produce byte-identical result sets; execution
+     * policy (retry, checkpoint path, fault plan) is excluded for the
+     * same reason it is excluded from the per-job key.
+     */
+    std::uint64_t contentHash() const;
+
+    const RetryPolicy &retry() const { return retry_; }
+    const FaultPlan &faultPlan() const { return faults_; }
+    const std::string &checkpointPath() const { return checkpoint_; }
+
+    const std::vector<ExperimentJob> &jobs() const { return jobs_; }
+    std::size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+    const ExperimentJob &operator[](std::size_t i) const { return jobs_[i]; }
+
+  private:
+    std::vector<ExperimentJob> jobs_;
+    telemetry::Options telemetryDefault_;
+    bool fastForwardDefault_ = true;
+    RunLimits limitsDefault_;
+    FaultPlan faults_;
+    RetryPolicy retry_;
+    std::string checkpoint_;
+};
+
+} // namespace sac
+
+#endif // SAC_SIM_PLAN_HH

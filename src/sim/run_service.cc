@@ -34,11 +34,17 @@ RunServiceRegistry::nextWake(Cycle now) const
     return wake;
 }
 
-void
+Cycle
 RunServiceRegistry::poll(const TickInfo &tick)
 {
-    for (const Entry &e : entries_)
+    Cycle wake = cycleNever;
+    for (const Entry &e : entries_) {
         e.svc->poll(tick);
+        const Cycle due = e.svc->nextDue(tick.now);
+        if (due != cycleNever)
+            wake = std::min(wake, checkWake(due));
+    }
+    return wake;
 }
 
 std::vector<const char *>

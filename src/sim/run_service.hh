@@ -115,8 +115,16 @@ class RunServiceRegistry
      */
     Cycle nextWake(Cycle now) const;
 
-    /** Polls every service in phase order. */
-    void poll(const TickInfo &tick);
+    /**
+     * Polls every service in phase order and returns the earliest
+     * pre-tick wake cycle any of them needs afterwards (the same
+     * value nextWake(tick.now) would compute, read in the same sweep
+     * right after each service's poll so the extra virtual pass per
+     * iteration disappears). Nothing runs between the end of a poll
+     * sweep and the next advance, so the value is exactly as fresh as
+     * an advance-time recomputation.
+     */
+    Cycle poll(const TickInfo &tick);
 
     std::size_t size() const { return entries_.size(); }
 

@@ -1,0 +1,154 @@
+#include "sim/sched.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace sac {
+namespace sim {
+
+ComponentId
+WakeQueue::add(Component &c, Cycle due)
+{
+    const auto id = static_cast<ComponentId>(comps_.size());
+    comps_.push_back(&c);
+    keys_.push_back(due);
+    pos_.push_back(static_cast<std::uint32_t>(heap_.size()));
+    heap_.push_back(id);
+    siftUp(heap_.size() - 1);
+    return id;
+}
+
+void
+WakeQueue::wake(ComponentId id, Cycle at)
+{
+    SAC_ASSERT(id < comps_.size(), "wake of unregistered component ", id);
+    if (at >= keys_[id])
+        return; // lazy re-key: only the owner ever moves a key later
+    keys_[id] = at;
+    siftUp(pos_[id]);
+}
+
+void
+WakeQueue::rekey(ComponentId id, Cycle at)
+{
+    SAC_ASSERT(id < comps_.size(), "rekey of unregistered component ", id);
+    const Cycle old = keys_[id];
+    if (at == old)
+        return;
+    keys_[id] = at;
+    if (at < old)
+        siftUp(pos_[id]);
+    else
+        siftDown(pos_[id]);
+}
+
+void
+WakeQueue::siftUp(std::size_t i)
+{
+    const ComponentId id = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(id, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+        i = parent;
+    }
+    heap_[i] = id;
+    pos_[id] = static_cast<std::uint32_t>(i);
+}
+
+void
+WakeQueue::siftDown(std::size_t i)
+{
+    const ComponentId id = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!before(heap_[child], id))
+            break;
+        heap_[i] = heap_[child];
+        pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+        i = child;
+    }
+    heap_[i] = id;
+    pos_[id] = static_cast<std::uint32_t>(i);
+}
+
+ComponentId
+Scheduler::add(Component &c)
+{
+    const ComponentId id = queue_.add(c);
+    lastTickPlus1_.push_back(0);
+    return id;
+}
+
+void
+Scheduler::wake(ComponentId id, Cycle at)
+{
+    if (inCycle_) {
+        // Same-cycle visibility matches the reference phase order: a
+        // push is seen this cycle only by later-ordinal components;
+        // earlier (or same) ordinals already had their phase slot.
+        const Cycle floor = id <= curOrdinal_ ? curCycle_ + 1 : curCycle_;
+        at = std::max(at, floor);
+    }
+    queue_.wake(id, at);
+}
+
+void
+Scheduler::wakeAll(Cycle now)
+{
+    for (ComponentId id = 0;
+         id < static_cast<ComponentId>(queue_.size()); ++id) {
+        queue_.wake(id, now);
+    }
+}
+
+void
+Scheduler::runCycle(Cycle now)
+{
+    inCycle_ = true;
+    curCycle_ = now;
+    for (;;) {
+        const ComponentId id = queue_.peekDue(now);
+        if (id == invalidComponent)
+            break;
+        curOrdinal_ = id;
+        Component &c = queue_.component(id);
+        const Cycle base = std::max(lastTickPlus1_[id], fullTickFloor_);
+        SAC_ASSERT(base <= now, "component ", c.name(),
+                   " ticked twice in cycle ", now);
+        if (now > base)
+            c.skipIdleCycles(now - base);
+        lastTickPlus1_[id] = now + 1;
+        c.tick(now);
+        // Lazy re-key: nextEventCycle clamps to its argument, so the
+        // new key is > now and the pop loop always terminates.
+        queue_.rekey(id, std::max(c.nextEventCycle(now + 1), now + 1));
+    }
+    inCycle_ = false;
+    curOrdinal_ = invalidComponent;
+}
+
+void
+Scheduler::onClockJump(Cycle delta)
+{
+    for (auto &last : lastTickPlus1_)
+        last += delta;
+    fullTickFloor_ += delta;
+}
+
+void
+Scheduler::onFullTick(Cycle now)
+{
+    fullTickFloor_ = std::max(fullTickFloor_, now + 1);
+}
+
+} // namespace sim
+} // namespace sac

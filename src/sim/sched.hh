@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The sim::Component scheduling API: the event-driven dense-path core.
+ *
+ * A Component is one schedulable unit of the simulated machine (an SM
+ * cluster with its response port, an LLC slice, a chip's memory
+ * pipeline, the inter-chip network). Components register once with a
+ * Scheduler, which keys each of them in a WakeQueue — an indexed
+ * min-heap ordered by (next-due cycle, registration ordinal) — and
+ * System::advance() pops and ticks only the components that are due,
+ * instead of fanning out to all of them every cycle.
+ *
+ * The contract that makes the event-driven loop byte-identical to the
+ * per-cycle reference loop (docs/PERFORMANCE.md has the proofs):
+ *
+ *  1. nextEventCycle() is conservative: never later than the first
+ *     cycle the component would do observable work. Early is fine —
+ *     a spurious tick of an idle component is a no-op, because the
+ *     reference loop ticks everything every cycle anyway.
+ *  2. Keys move *earlier* only through Scheduler::wake(), called by
+ *     producers at every push chokepoint (enqueue, credit refill,
+ *     MSHR fill, memory-slot free). Keys move *later* only lazily:
+ *     when the component is popped and ticked, the scheduler re-keys
+ *     it from its own nextEventCycle(). A state change that defers
+ *     work (a pause, a drained queue) therefore costs at most one
+ *     spurious tick, never a missed one.
+ *  3. Registration ordinal == reference phase order. Within a cycle,
+ *     due components tick in ordinal order, and a wake targeting the
+ *     current cycle from a component at an equal or later ordinal is
+ *     clamped to the next cycle — exactly the visibility the phase
+ *     structure of System::tick() gives pushes.
+ *  4. Idle bandwidth refills are replayed per component: the
+ *     scheduler tracks each component's last ticked cycle and calls
+ *     skipIdleCycles() for the gap before re-ticking, so budget caps
+ *     saturate bit-exactly as if the component had been ticked every
+ *     cycle. Clock jumps that the reference loop also takes without
+ *     ticking (kernel-boundary flush stalls) are excluded via
+ *     onClockJump().
+ */
+
+#ifndef SAC_SIM_SCHED_HH
+#define SAC_SIM_SCHED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sac {
+namespace sim {
+
+/** Registration ordinal; doubles as the in-cycle phase position. */
+using ComponentId = std::uint32_t;
+
+constexpr ComponentId invalidComponent = ~ComponentId(0);
+
+/** One schedulable unit of the simulated machine. */
+class Component
+{
+  public:
+    virtual ~Component() = default;
+
+    /** Stable identifier for diagnostics ("c0.cluster3", "icn"). */
+    virtual const char *name() const = 0;
+
+    /** Performs one cycle of work at @p now. */
+    virtual void tick(Cycle now) = 0;
+
+    /**
+     * Earliest cycle (>= @p now) this component might do observable
+     * work given its current state, or cycleNever when only another
+     * component's push can create work for it. Conservative: never
+     * late, early at worst costs a spurious tick.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const = 0;
+
+    /**
+     * Replays @p cycles of idle per-cycle bandwidth refills in one
+     * call (see BwQueue::skipIdleCycles). Default no-op for
+     * timestamp-based components with no per-cycle state.
+     */
+    virtual void
+    skipIdleCycles(Cycle cycles)
+    {
+        (void)cycles;
+    }
+};
+
+/**
+ * Indexed min-heap of components keyed by next-due cycle, ties broken
+ * by registration ordinal. Components are never removed; wake() is a
+ * decrease-key (sift-up only), rekey() an exact set. Both are O(log n)
+ * worst case, and wake() is O(1) when the key does not improve — the
+ * common case on hot push paths.
+ */
+class WakeQueue
+{
+  public:
+    /** Registers @p c due at @p due; returns its ordinal. */
+    ComponentId add(Component &c, Cycle due = 0);
+
+    /**
+     * Moves @p id's key earlier, to min(key, at). Never moves a key
+     * later — deferring work is the owner's lazy re-key at pop time.
+     */
+    void wake(ComponentId id, Cycle at);
+
+    /** Sets @p id's key to exactly @p at (owner re-key after a tick). */
+    void rekey(ComponentId id, Cycle at);
+
+    /** Current key of @p id. */
+    Cycle keyOf(ComponentId id) const { return keys_[id]; }
+
+    /** Smallest key over all components; cycleNever when empty. */
+    Cycle
+    nextDue() const
+    {
+        return heap_.empty() ? cycleNever : keys_[heap_[0]];
+    }
+
+    /**
+     * Ordinal of the minimum-(key, ordinal) component if its key is
+     * <= @p now, else invalidComponent. Does not remove it; the
+     * caller ticks and rekey()s it, which surfaces the next one.
+     */
+    ComponentId
+    peekDue(Cycle now) const
+    {
+        if (heap_.empty() || keys_[heap_[0]] > now)
+            return invalidComponent;
+        return heap_[0];
+    }
+
+    Component &component(ComponentId id) const { return *comps_[id]; }
+    std::size_t size() const { return comps_.size(); }
+
+  private:
+    bool
+    before(ComponentId a, ComponentId b) const
+    {
+        return keys_[a] != keys_[b] ? keys_[a] < keys_[b] : a < b;
+    }
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    std::vector<Component *> comps_; //!< by ordinal
+    std::vector<Cycle> keys_;        //!< by ordinal
+    std::vector<std::uint32_t> pos_; //!< ordinal -> heap index
+    std::vector<ComponentId> heap_;
+};
+
+/**
+ * Drives the registered components through event-driven cycles while
+ * preserving reference-loop semantics: per-component idle-refill
+ * replay, in-cycle ordinal ordering with same-cycle wake clamping,
+ * and clock-jump exclusion.
+ */
+class Scheduler
+{
+  public:
+    /** Registers @p c; ordinals must follow reference phase order. */
+    ComponentId add(Component &c);
+
+    /**
+     * Producer notification: @p id may have work at @p at. During a
+     * runCycle() the cycle is clamped so a push from an equal-or-
+     * later ordinal is seen next cycle, matching the reference
+     * loop's phase visibility.
+     */
+    void wake(ComponentId id, Cycle at);
+
+    /**
+     * Makes every component due at @p now. The escape hatch after an
+     * arbitrary external mutation (fault-injection hooks may do
+     * anything); one all-ticked cycle re-establishes exact keys.
+     */
+    void wakeAll(Cycle now);
+
+    /** Earliest cycle any component is keyed for. */
+    Cycle nextDue() const { return queue_.nextDue(); }
+
+    /**
+     * Ticks every due component at @p now in ordinal order, replaying
+     * each one's idle refill gap first, then lazily re-keys it from
+     * its own nextEventCycle(now + 1).
+     */
+    void runCycle(Cycle now);
+
+    /**
+     * The clock jumped @p delta cycles without ticking (kernel-
+     * boundary flush stall). The reference loop performs no refills
+     * across such a jump, so the replay bookkeeping must skip it too.
+     */
+    void onClockJump(Cycle delta);
+
+    /**
+     * The reference loop ticked every component at @p now
+     * (System::tick() ran). Keeps the replay bookkeeping exact when
+     * reference ticks and event-driven advances interleave.
+     */
+    void onFullTick(Cycle now);
+
+    const WakeQueue &queue() const { return queue_; }
+
+  private:
+    WakeQueue queue_;
+    /** Per component: cycle after its last tick (replay gap base). */
+    std::vector<Cycle> lastTickPlus1_;
+    /** Cycle after the last full reference tick (see onFullTick). */
+    Cycle fullTickFloor_ = 0;
+    Cycle curCycle_ = 0;
+    ComponentId curOrdinal_ = invalidComponent;
+    bool inCycle_ = false;
+};
+
+} // namespace sim
+} // namespace sac
+
+#endif // SAC_SIM_SCHED_HH

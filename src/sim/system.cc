@@ -64,8 +64,41 @@ class System::FaultHookService final : public RunService
         sys_.faultAt_ = cycleNever;
         auto fn = std::move(sys_.faultFn_);
         sys_.faultFn_ = nullptr;
-        if (fn)
+        if (fn) {
             fn(sys_);
+            // The hook may have mutated anything; one all-due cycle
+            // re-establishes exact wake keys.
+            sys_.sched_.wakeAll(tick.now);
+        }
+    }
+
+  private:
+    System &sys_;
+};
+
+/**
+ * The inter-chip network as one schedulable unit: credit refill, link
+ * movement and arrival dispatch (reference phases 1+2).
+ */
+class System::NetUnit final : public sim::Component
+{
+  public:
+    explicit NetUnit(System &sys) : sys_(sys) {}
+
+    const char *name() const override { return "icn"; }
+
+    void tick(Cycle now) override { sys_.tickNetwork(now); }
+
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return sys_.icn.nextEventCycle(now);
+    }
+
+    void
+    skipIdleCycles(Cycle cycles) override
+    {
+        sys_.icn.skipIdleCycles(cycles);
     }
 
   private:
@@ -180,6 +213,19 @@ System::System(const GpuConfig &cfg, OrgKind kind, TraceSource &trace)
         chip->setDirectBypass(org->separateRemoteNoc());
     }
 
+    // Component registration: ordinal == reference phase order, and
+    // the reference loop runs each phase across all chips before the
+    // next, so the passes go phase-major (all clusters, the network,
+    // all slices, all memory pipelines).
+    for (auto &chip : chips)
+        chip->registerClusterComponents(sched_, *this);
+    netUnit_ = std::make_unique<NetUnit>(*this);
+    netId_ = sched_.add(*netUnit_);
+    for (auto &chip : chips)
+        chip->registerSliceComponents(sched_);
+    for (auto &chip : chips)
+        chip->registerMemoryComponent(sched_);
+
     result.organization = org->name();
 
     // The run-loop schedule: every periodic concern registers here
@@ -258,6 +304,8 @@ System::setFaultHook(Cycle at, std::function<void(System &)> fn)
 {
     faultAt_ = at;
     faultFn_ = std::move(fn);
+    // The cached service wake predates this deadline.
+    svcWakeValid_ = false;
 }
 
 std::string
@@ -333,6 +381,9 @@ System::icnSend(ChipId src, ChipId dst, Packet pkt)
 {
     chipIcnInBytes[static_cast<std::size_t>(dst)] += pkt.bytes;
     icn.send(src, dst, std::move(pkt), clock);
+    // At most one spurious network tick: the network re-keys itself
+    // to the packet's actual movement cycle after it.
+    sched_.wake(netId_, clock);
 }
 
 void
@@ -398,64 +449,56 @@ System::tick()
     for (auto &chip : chips)
         chip->tickMemory(clock);
 
+    // Everything was ticked (and so refilled) this cycle; keep the
+    // scheduler's per-component replay bookkeeping in step for runs
+    // that mix tick() and advance().
+    sched_.onFullTick(clock);
     ++clock;
 }
 
-Cycle
-System::nextWakeCycle() const
-{
-    // Component events: the earliest cycle any queue drains, warp
-    // wakes, DRAM request completes or inter-chip packet moves.
-    Cycle wake = icn.nextEventCycle(clock);
-    for (const auto &chip : chips)
-        wake = std::min(wake, chip->nextEventCycle(clock));
-
-    // Control deadlines come from the one service registry the loop
-    // body also polls, so a check fires at the same simulated cycle
-    // with fast-forward on or off by construction. The livelock
-    // watchdog's deadline bounds the result even when every component
-    // reports cycleNever, so a wedged system aborts at the exact
-    // cycle it would have in the per-cycle loop.
-    return std::min(wake, services_.nextWake(clock));
-}
-
 void
-System::skipIdleCycles(Cycle cycles)
+System::tickNetwork(Cycle now)
 {
-    icn.skipIdleCycles(cycles);
-    for (auto &chip : chips)
-        chip->skipIdleCycles(cycles);
+    icn.beginCycle();
+    icn.tick(now);
+    Packet pkt;
+    for (auto &chip : chips) {
+        while (icn.receive(chip->id(), pkt, now))
+            chip->acceptIcnArrival(pkt, now);
+    }
 }
 
 void
 System::advance()
 {
     lastAdvanceSkipped_ = false;
-    if (fastForward_) {
-        if (ffProbeHold_ > 0) {
-            // Busy backoff: recent probes found work at the current
-            // cycle, so skip the probe and run the reference loop.
-            --ffProbeHold_;
-        } else {
-            const Cycle wake = nextWakeCycle();
-            if (wake > clock) {
-                // Nothing can happen before `wake`: the skipped
-                // cycles would only have refilled bandwidth budgets,
-                // so replay exactly those refills and jump.
-                skipIdleCycles(wake - clock);
-                ++ffStats_.skips;
-                ffStats_.skippedCycles += wake - clock;
-                clock = wake;
-                ffBackoff_ = 0;
-                lastAdvanceSkipped_ = true;
-            } else {
-                ffBackoff_ = std::min<std::uint32_t>(
-                    ffBackoff_ ? ffBackoff_ * 2 : 1, 256);
-                ffProbeHold_ = ffBackoff_;
-            }
-        }
+    if (!fastForward_) {
+        tick();
+        return;
     }
-    tick();
+
+    // Event-driven cycle: jump to the earliest component or run-loop
+    // deadline, then tick only the due components. The registry feeds
+    // the same wake computation the loop polls, so a control check
+    // fires at the same simulated cycle with fast-forward on or off.
+    // The livelock watchdog's deadline bounds the target even when
+    // every component reports cycleNever, so a wedged system aborts
+    // at the exact cycle it would have in the per-cycle loop. run()
+    // refreshes the cached service wake on every poll; outside run()
+    // (or after a setter re-arms a service) it is recomputed here.
+    if (!svcWakeValid_) {
+        svcWake_ = services_.nextWake(clock);
+        svcWakeValid_ = true;
+    }
+    const Cycle due = std::min(sched_.nextDue(), svcWake_);
+    if (due > clock) {
+        ++ffStats_.skips;
+        ffStats_.skippedCycles += due - clock;
+        clock = due;
+        lastAdvanceSkipped_ = true;
+    }
+    sched_.runCycle(clock);
+    ++clock;
 }
 
 bool
@@ -490,6 +533,8 @@ System::launchKernel(const KernelDescriptor &kernel)
         chip->beginKernel(kernel.accessesPerWarp, clock);
     kernelStart = clock;
     livelockDog_->beginKernel(clock);
+    // Kernel launch re-arms windows and watchdog deadlines.
+    svcWakeValid_ = false;
 
     currentKernel = kernel.index;
     if (eventTrace_)
@@ -587,9 +632,13 @@ System::flushLlc(bool replicas_only)
         Cycle
         occupyBulk(ChipId chip, std::uint64_t bytes, Cycle now) override
         {
-            return sys.chips[static_cast<std::size_t>(chip)]
-                ->memCtrl()
-                .occupyBulk(bytes, now);
+            Chip &target = *sys.chips[static_cast<std::size_t>(chip)];
+            const Cycle done = target.memCtrl().occupyBulk(bytes, now);
+            // The reservation occupies real controller slots; the
+            // memory component must run at their drain times so
+            // blocked slices see the queue free up on cycle.
+            target.wakeMemory(now);
+            return done;
         }
     } mem(*this);
 
@@ -617,7 +666,12 @@ System::finishKernel()
         if (eventTrace_)
             eventTrace_->flush(currentKernel, clock, done - clock,
                                "kernel-boundary");
-        clock = std::max(clock, done);
+        if (done > clock) {
+            // The reference loop jumps the clock here without ticking
+            // anything: exclude the jump from idle-refill replay.
+            sched_.onClockJump(done - clock);
+            clock = done;
+        }
     }
     if (coherence.kind() == CoherenceKind::Hardware) {
         // The directory survives kernels; replicas stay coherent.
@@ -750,7 +804,8 @@ System::run(const std::vector<KernelDescriptor> &kernels)
             advance();
             tick.now = clock;
             tick.fastForwarded = lastAdvanceSkipped_;
-            services_.poll(tick);
+            svcWake_ = services_.poll(tick);
+            svcWakeValid_ = true;
         }
         if (window_) {
             // The kernel ended with the window still open: no

@@ -40,6 +40,7 @@
 #include "sac/window.hh"
 #include "sim/chip.hh"
 #include "sim/run_service.hh"
+#include "sim/sched.hh"
 #include "sim/watchdog.hh"
 #include "telemetry/event_trace.hh"
 #include "telemetry/sampler.hh"
@@ -182,14 +183,14 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     void tick();
 
     /**
-     * Advances simulated time by one *event*: when fast-forward is
-     * enabled and no component can do work this cycle, jumps the
-     * clock to the minimum nextEventCycle() over all components and
-     * registered run-loop control deadlines (replaying the skipped
-     * bandwidth refills bit-exactly), then ticks. With fast-forward
-     * disabled — or whenever something can happen now — identical to
-     * tick(). Either way every observable result is the same; only
-     * wall time differs.
+     * Advances simulated time by one *event*: pops the scheduler's
+     * wake queue and ticks only the components that are due this
+     * cycle, first jumping the clock to the earliest component or
+     * run-loop-service deadline when nothing is due now (replaying
+     * the skipped bandwidth refills bit-exactly per component). With
+     * fast-forward disabled, identical to tick() — the per-cycle
+     * reference loop. Either way every observable result is the
+     * same; only wall time differs (sim/sched.hh has the contract).
      */
     void advance();
 
@@ -241,6 +242,9 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     /** The run-loop service schedule (tests, diagnostics). */
     const RunServiceRegistry &runServices() const { return services_; }
 
+    /** The component scheduler (tests, diagnostics). */
+    const sim::Scheduler &scheduler() const { return sched_; }
+
     /**
      * Aggregate LLC requests/hits over all slices (current totals).
      * Also the WindowHost counter feed.
@@ -260,18 +264,15 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     class SamplerService;
     class DynamicEpochService;
     class OccupancyService;
+    class NetUnit;
 
     bool allDone() const;
     /**
-     * Earliest cycle at which any component might do work or any
-     * registered run-loop service might fire, in pre-tick clock
-     * coordinates. Always finite while a kernel is in flight (the
-     * livelock watchdog bounds it). advance() skips to it when it is
-     * in the future.
+     * One inter-chip network phase: credit refill, link movement,
+     * then arrival dispatch into the chips. The NetUnit component's
+     * tick; also phases 1+2 of the reference System::tick().
      */
-    Cycle nextWakeCycle() const;
-    /** Replays @p cycles of idle bandwidth refills on every queue. */
-    void skipIdleCycles(Cycle cycles);
+    void tickNetwork(Cycle now);
     void launchKernel(const KernelDescriptor &kernel);
     void finishKernel();
     /**
@@ -325,22 +326,25 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     // Fig. 10 response accounting.
     std::array<std::uint64_t, 5> respByOrigin{};
 
-    // Next-event fast-forward (tentpole of the perf work; see
-    // docs/PERFORMANCE.md for the invariants).
+    // Event-driven dense path (tentpole of the perf work; see
+    // sim/sched.hh for the contract and docs/PERFORMANCE.md for the
+    // byte-identity argument). Components register in the ctor in
+    // reference phase order; ordinals are their in-cycle position.
+    sim::Scheduler sched_;
+    std::unique_ptr<NetUnit> netUnit_;
+    sim::ComponentId netId_ = sim::invalidComponent;
+
     bool fastForward_ = true;
     FastForwardStats ffStats_;
     /** True when the last advance() jumped the clock. */
     bool lastAdvanceSkipped_ = false;
     /**
-     * Probe backoff: after nextWakeCycle() finds work at the current
-     * cycle, re-probing is held off for a doubling number of cycles
-     * (capped) so busy phases pay almost no probe cost. Held-off
-     * cycles are plain tick()s — identical to the reference loop —
-     * so backoff never affects results, only how often skips are
-     * attempted.
+     * Service wake cached by run()'s poll sweep (RunServiceRegistry::
+     * poll returns it for free); advance() recomputes it only when a
+     * setter re-armed a service or no poll has happened yet.
      */
-    std::uint32_t ffBackoff_ = 0;
-    std::uint32_t ffProbeHold_ = 0;
+    Cycle svcWake_ = 0;
+    bool svcWakeValid_ = false;
 
     // Watchdog limits (see RunLimits) and the fault-injection hook.
     RunLimits limits_;

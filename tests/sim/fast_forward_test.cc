@@ -1,9 +1,9 @@
 /**
  * @file
- * Differential tests for the next-event fast-forward layer.
+ * Differential tests for the event-driven scheduler core.
  *
- * The layer's contract is absolute: for any workload, organization and
- * worker count, a fast-forwarded run produces byte-identical results —
+ * The core's contract is absolute: for any workload, organization and
+ * worker count, an event-driven run produces byte-identical results —
  * every counter, every SAC decision, every telemetry epoch sample and
  * trace event — to the per-cycle reference loop. These tests serialize
  * whole RunResults (losslessly, through result_io) and compare the
@@ -131,34 +131,44 @@ TEST(FastForward, DisabledMeansNoSkips)
 
 TEST(FastForward, IdenticalAcrossWorkerCounts)
 {
-    // The full matrix: five organizations x {ff, reference}, run with
-    // 1, 2 and 8 engine workers. Everything must match the serial
-    // fast-forwarded run byte for byte.
+    // The full matrix: both sharing shapes (CFD leans memory-side,
+    // RN leans SM-side) x five organizations x {event-driven,
+    // reference}, run with 1, 2 and 8 engine workers. Everything —
+    // counters, SAC decisions, telemetry timelines and events — must
+    // match the serial event-driven run byte for byte.
     const GpuConfig cfg = diffConfig();
-    const WorkloadProfile p = diffProfile("CFD");
     ExperimentPlan plan;
     plan.enableTelemetry(fullTelemetry());
-    for (const OrgKind org : ExperimentPlan::allOrganizations()) {
-        ExperimentJob job;
-        job.profile = p;
-        job.config = cfg;
-        job.org = org;
-        job.telemetry = fullTelemetry();
-        plan.add(job);
-        ExperimentJob ref = job;
-        ref.fastForward = false;
-        ref.label = job.profile.name + "/" + toString(org) + "/ref";
-        plan.add(ref);
+    for (const char *bench : {"CFD", "RN"}) {
+        const WorkloadProfile p = diffProfile(bench);
+        for (const OrgKind org : ExperimentPlan::allOrganizations()) {
+            ExperimentJob job;
+            job.profile = p;
+            job.config = cfg;
+            job.org = org;
+            job.telemetry = fullTelemetry();
+            plan.add(job);
+            ExperimentJob ref = job;
+            ref.fastForward = false;
+            ref.label = p.name + "/" + toString(org) + "/ref";
+            plan.add(ref);
+        }
     }
 
     const auto serial = ExperimentEngine(1).run(plan);
-    ASSERT_EQ(serial.size(), 10u);
+    ASSERT_EQ(serial.size(), 20u);
     std::vector<std::string> expected;
     for (const auto &rec : serial)
         expected.push_back(result_io::toJson(rec.result));
-    // Each ff/ref pair within the serial run must already agree.
-    for (std::size_t i = 0; i < serial.size(); i += 2)
+    // Each event-driven/reference pair in the serial run must already
+    // agree, and timelines must actually be present in both.
+    for (std::size_t i = 0; i < serial.size(); i += 2) {
         EXPECT_EQ(expected[i], expected[i + 1]) << serial[i].label;
+        ASSERT_TRUE(serial[i].result.timeline.has_value())
+            << serial[i].label;
+        EXPECT_FALSE(serial[i].result.timeline->samples.empty())
+            << serial[i].label;
+    }
 
     for (const unsigned workers : {2u, 8u}) {
         const auto records = ExperimentEngine(workers).run(plan);

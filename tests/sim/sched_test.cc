@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the sim::Component scheduling core: WakeQueue heap
+ * semantics (decrease-key, duplicate-due ordinal ordering, lazy
+ * re-key) and the Scheduler behaviours the byte-identity argument
+ * rests on (in-cycle ordinal order, same-cycle wake clamping, idle
+ * refill replay, clock-jump exclusion, wakeAll).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/sched.hh"
+
+namespace sac {
+namespace sim {
+namespace {
+
+/** Scriptable component recording every tick and replay it receives. */
+class FakeComponent final : public Component
+{
+  public:
+    explicit FakeComponent(const char *name) : name_(name) {}
+
+    const char *name() const override { return name_; }
+
+    void
+    tick(Cycle now) override
+    {
+        ticks.push_back(now);
+        if (log)
+            log->push_back(std::string(name_) + "@" +
+                           std::to_string(now));
+    }
+
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return nextEvent >= now ? nextEvent : now;
+    }
+
+    void skipIdleCycles(Cycle cycles) override { skipped += cycles; }
+
+    /** What nextEventCycle reports after the next tick. */
+    Cycle nextEvent = cycleNever;
+    std::vector<Cycle> ticks;
+    Cycle skipped = 0;
+    std::vector<std::string> *log = nullptr;
+
+  private:
+    const char *name_;
+};
+
+TEST(WakeQueueTest, WakeIsDecreaseKeyOnly)
+{
+    WakeQueue q;
+    FakeComponent a("a");
+    const ComponentId id = q.add(a, 100);
+    EXPECT_EQ(q.keyOf(id), 100u);
+
+    q.wake(id, 40); // earlier: takes effect
+    EXPECT_EQ(q.keyOf(id), 40u);
+    EXPECT_EQ(q.nextDue(), 40u);
+
+    q.wake(id, 70); // later: ignored, deferral is the owner's re-key
+    EXPECT_EQ(q.keyOf(id), 40u);
+
+    q.rekey(id, 70); // exact set moves in either direction
+    EXPECT_EQ(q.keyOf(id), 70u);
+    q.rekey(id, 10);
+    EXPECT_EQ(q.keyOf(id), 10u);
+    EXPECT_EQ(q.nextDue(), 10u);
+}
+
+TEST(WakeQueueTest, DuplicateDueOrdersByRegistrationOrdinal)
+{
+    WakeQueue q;
+    FakeComponent a("a"), b("b"), c("c");
+    const ComponentId ia = q.add(a, 5);
+    const ComponentId ib = q.add(b, 5);
+    const ComponentId ic = q.add(c, 5);
+
+    // All due at 5: the minimum must be the earliest ordinal, and
+    // re-keying it must surface the next ordinal, not an arbitrary one.
+    EXPECT_EQ(q.peekDue(5), ia);
+    q.rekey(ia, 9);
+    EXPECT_EQ(q.peekDue(5), ib);
+    q.rekey(ib, 9);
+    EXPECT_EQ(q.peekDue(5), ic);
+    q.rekey(ic, 9);
+    EXPECT_EQ(q.peekDue(5), invalidComponent);
+    EXPECT_EQ(q.nextDue(), 9u);
+
+    // Ordinal order holds even when the later ordinal was keyed first.
+    q.rekey(ic, 2);
+    q.rekey(ia, 2);
+    EXPECT_EQ(q.peekDue(2), ia);
+}
+
+TEST(WakeQueueTest, PeekDoesNotPassFutureKeys)
+{
+    WakeQueue q;
+    FakeComponent a("a");
+    q.add(a, 8);
+    EXPECT_EQ(q.peekDue(7), invalidComponent);
+    EXPECT_NE(q.peekDue(8), invalidComponent);
+}
+
+TEST(SchedulerTest, RunCycleTicksDueComponentsInOrdinalOrder)
+{
+    Scheduler s;
+    std::vector<std::string> log;
+    FakeComponent a("a"), b("b"), c("c");
+    a.log = b.log = c.log = &log;
+    s.add(a);
+    s.add(b);
+    s.add(c);
+
+    // All registered due at 0; b defers itself far out after its tick.
+    a.nextEvent = 1;
+    b.nextEvent = 100;
+    c.nextEvent = 1;
+    s.runCycle(0);
+    EXPECT_EQ(log, (std::vector<std::string>{"a@0", "b@0", "c@0"}));
+
+    log.clear();
+    s.runCycle(1);
+    EXPECT_EQ(log, (std::vector<std::string>{"a@1", "c@1"}));
+    EXPECT_EQ(s.nextDue(), 2u); // a and c re-keyed to max(1+1, 1)
+}
+
+TEST(SchedulerTest, LazyRekeyFollowsNextEventCycle)
+{
+    Scheduler s;
+    FakeComponent a("a");
+    s.add(a);
+    a.nextEvent = 50;
+    s.runCycle(0);
+    EXPECT_EQ(s.nextDue(), 50u);
+
+    // A producer wake may pull the key earlier again...
+    s.wake(0, 20);
+    EXPECT_EQ(s.nextDue(), 20u);
+    // ...and the tick at 20 lazily re-keys from the component.
+    a.nextEvent = 90;
+    s.runCycle(20);
+    EXPECT_EQ(s.nextDue(), 90u);
+}
+
+TEST(SchedulerTest, SameCycleWakeFromLaterOrdinalClampsToNextCycle)
+{
+    Scheduler s;
+    std::vector<std::string> log;
+    FakeComponent a("a"), b("b");
+    a.log = b.log = &log;
+    const ComponentId ia = s.add(a);
+    s.add(b);
+
+    // While b (ordinal 1) ticks, it wakes a (ordinal 0) "now". The
+    // reference loop would only show a that push next cycle, so the
+    // wake must land at now + 1 — a must not tick twice at cycle 3.
+    class Waker final : public Component
+    {
+      public:
+        Waker(Scheduler &s, ComponentId target) : s_(s), target_(target) {}
+        const char *name() const override { return "waker"; }
+        void tick(Cycle now) override { s_.wake(target_, now); }
+        Cycle nextEventCycle(Cycle) const override { return cycleNever; }
+
+      private:
+        Scheduler &s_;
+        ComponentId target_;
+    };
+    Waker w(s, ia);
+    s.add(w);
+
+    a.nextEvent = cycleNever;
+    b.nextEvent = cycleNever;
+    s.runCycle(3);
+    EXPECT_EQ(log, (std::vector<std::string>{"a@3", "b@3"}));
+    // The waker's same-cycle wake of a landed at 4, not 3.
+    EXPECT_EQ(s.nextDue(), 4u);
+
+    log.clear();
+    s.runCycle(4);
+    EXPECT_EQ(log, (std::vector<std::string>{"a@4"}));
+}
+
+TEST(SchedulerTest, IdleGapsReplayPerComponent)
+{
+    Scheduler s;
+    FakeComponent a("a");
+    s.add(a);
+
+    a.nextEvent = 10;
+    s.runCycle(0); // ticked at 0, next due 10
+    s.runCycle(10);
+    // Cycles 1..9 passed without a tick: the replay must hand the
+    // component exactly that gap before its cycle-10 tick.
+    EXPECT_EQ(a.skipped, 9u);
+    EXPECT_EQ(a.ticks, (std::vector<Cycle>{0, 10}));
+}
+
+TEST(SchedulerTest, ClockJumpIsExcludedFromReplay)
+{
+    Scheduler s;
+    FakeComponent a("a");
+    s.add(a);
+
+    a.nextEvent = 20;
+    s.runCycle(0);
+    // The reference loop also jumps these cycles without refills
+    // (kernel-boundary stall): they must not count as idle gap.
+    s.onClockJump(15);
+    s.runCycle(20);
+    EXPECT_EQ(a.skipped, 4u); // cycles 16..19 only
+}
+
+TEST(SchedulerTest, WakeAllMakesEveryComponentDue)
+{
+    Scheduler s;
+    FakeComponent a("a"), b("b");
+    s.add(a);
+    s.add(b);
+    a.nextEvent = cycleNever;
+    b.nextEvent = cycleNever;
+    s.runCycle(0);
+    EXPECT_EQ(s.nextDue(), cycleNever);
+
+    s.wakeAll(7);
+    EXPECT_EQ(s.nextDue(), 7u);
+    s.runCycle(7);
+    EXPECT_EQ(a.ticks, (std::vector<Cycle>{0, 7}));
+    EXPECT_EQ(b.ticks, (std::vector<Cycle>{0, 7}));
+}
+
+} // namespace
+} // namespace sim
+} // namespace sac
