@@ -23,6 +23,7 @@
 
 #include "common/config.hh"
 #include "llc/organization.hh"
+#include "sim/plan.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "workload/suite.hh"

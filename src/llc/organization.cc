@@ -17,6 +17,22 @@ toString(OrgKind kind)
     return "?";
 }
 
+OrgKind
+orgKindFromName(const std::string &name)
+{
+    if (name == "mem")
+        return OrgKind::MemorySide;
+    if (name == "sm")
+        return OrgKind::SmSide;
+    if (name == "static")
+        return OrgKind::StaticLlc;
+    if (name == "dynamic")
+        return OrgKind::DynamicLlc;
+    if (name == "sac")
+        return OrgKind::Sac;
+    invalid(name, "unknown organization (want mem|sm|static|dynamic|sac)");
+}
+
 std::unique_ptr<Organization>
 Organization::make(OrgKind kind)
 {

@@ -31,6 +31,13 @@ enum class OrgKind { MemorySide, SmSide, StaticLlc, DynamicLlc, Sac };
 const char *toString(OrgKind kind);
 
 /**
+ * Parses the short organization names shared by the sacsim CLI and
+ * the sacsimd wire protocol: mem | sm | static | dynamic | sac.
+ * Throws ValidationError on anything else.
+ */
+OrgKind orgKindFromName(const std::string &name);
+
+/**
  * Organization policy: routing + partitioning + coherence behaviour.
  * The System consults it on every L1 miss and at kernel boundaries.
  */

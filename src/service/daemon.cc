@@ -1,0 +1,195 @@
+#include "service/daemon.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/log.hh"
+#include "service/protocol.hh"
+#include "sim/engine.hh"
+#include "sim/plan.hh"
+
+namespace sac::service {
+
+namespace {
+
+/** The wire end of the delivery path: one response line per record,
+ *  provenance tallied for the done event. */
+class WireSink : public ResultSink
+{
+  public:
+    WireSink(const SweepRequest &request, const Daemon::EmitFn &emit)
+        : request_(request), emit_(emit)
+    {}
+
+    void
+    onRecord(const EngineProgress &event) override
+    {
+        switch (event.record.source) {
+          case RecordSource::Simulated: ++counts_.simulated; break;
+          case RecordSource::Cache: ++counts_.cacheHits; break;
+          case RecordSource::Checkpoint: ++counts_.restored; break;
+        }
+        emit_(recordEvent(request_, event));
+    }
+
+    void
+    onDone(const EngineDone &done) override
+    {
+        counts_.jobs = done.total;
+        counts_.cacheMisses = done.telemetry.cacheMisses;
+        emit_(doneEvent(request_, counts_));
+    }
+
+  private:
+    const SweepRequest &request_;
+    const Daemon::EmitFn &emit_;
+    SweepCounts counts_;
+};
+
+bool
+blankLine(const std::string &line)
+{
+    return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+/** Best-effort id recovery for error events on malformed requests. */
+std::string
+requestId(const std::string &line)
+{
+    try {
+        const json::Value doc = json::parse(line);
+        if (doc.has("id"))
+            return doc.at("id").asString();
+    } catch (...) {
+    }
+    return "";
+}
+
+void
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // peer went away; drop the rest of the stream
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options))
+{
+    if (!options_.cacheDir.empty())
+        cache_.emplace(options_.cacheDir);
+}
+
+void
+Daemon::handleRequest(const std::string &line, const EmitFn &emit)
+{
+    if (blankLine(line))
+        return;
+    try {
+        const SweepRequest request = parseRequest(line);
+        ExperimentEngine engine(options_.jobs);
+        engine.setCache(cache());
+        WireSink sink(request, emit);
+        engine.addSink(sink);
+        engine.run(request.plan);
+    } catch (const std::exception &e) {
+        emit(errorEvent(requestId(line), e.what()));
+    }
+}
+
+void
+Daemon::serveStream(std::istream &in, std::ostream &out)
+{
+    const EmitFn emit = [&out](const std::string &line) {
+        out << line << '\n';
+        out.flush();
+    };
+    std::string line;
+    while (std::getline(in, line))
+        handleRequest(line, emit);
+}
+
+int
+Daemon::serve()
+{
+    if (options_.socketPath.empty())
+        invalid("sacsimd", "no socket path configured");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+        invalid(options_.socketPath, "socket path too long (max ",
+                sizeof(addr.sun_path) - 1, " bytes)");
+    }
+    std::memcpy(addr.sun_path, options_.socketPath.c_str(),
+                options_.socketPath.size() + 1);
+
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0)
+        invalid(options_.socketPath, "socket(): ", std::strerror(errno));
+    ::unlink(options_.socketPath.c_str());
+    if (::bind(listener, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(listener);
+        invalid(options_.socketPath, "bind(): ", std::strerror(err));
+    }
+    if (::listen(listener, 8) != 0) {
+        const int err = errno;
+        ::close(listener);
+        invalid(options_.socketPath, "listen(): ", std::strerror(err));
+    }
+
+    for (unsigned served = 0;
+         options_.connections == 0 || served < options_.connections;
+         ++served) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        const EmitFn emit = [fd](const std::string &line) {
+            writeAll(fd, line + "\n");
+        };
+        std::string buffer;
+        char chunk[4096];
+        for (;;) {
+            const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                break;
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            std::size_t eol;
+            while ((eol = buffer.find('\n')) != std::string::npos) {
+                handleRequest(buffer.substr(0, eol), emit);
+                buffer.erase(0, eol + 1);
+            }
+        }
+        if (!buffer.empty())
+            handleRequest(buffer, emit);
+        ::close(fd);
+    }
+
+    ::close(listener);
+    ::unlink(options_.socketPath.c_str());
+    return 0;
+}
+
+} // namespace sac::service

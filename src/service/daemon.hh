@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The sacsimd session loop: accepts sac.sweep.v1 requests one line
+ * at a time, runs each plan on a fault-isolated ExperimentEngine
+ * worker pool backed by a shared persistent ResultCache, and streams
+ * sac.sweep-result.v1 events back as records are delivered.
+ *
+ * Transports: a unix-domain stream socket (serve(), one connection
+ * at a time — jobs inside a plan parallelize on the pool) or any
+ * istream/ostream pair (serveStream(), the testable core the socket
+ * loop wraps). Both funnel into handleRequest(), so a stdio session
+ * and a socket session behave identically.
+ *
+ * Memoization contract: the daemon holds one ResultCache for its
+ * whole lifetime, so a plan submitted twice — on the same or a later
+ * connection — performs zero System runs the second time and streams
+ * byte-identical record lines (the engine run-counter and CI daemon
+ * smoke assert exactly this).
+ */
+
+#ifndef SAC_SERVICE_DAEMON_HH
+#define SAC_SERVICE_DAEMON_HH
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "service/result_cache.hh"
+
+namespace sac::service {
+
+struct DaemonOptions
+{
+    /** Unix socket path (serve() only). */
+    std::string socketPath;
+    /** Result-cache directory; empty = no cache (pure compute). */
+    std::string cacheDir;
+    /** Engine worker threads per plan (0 = hardware_concurrency). */
+    unsigned jobs = 1;
+    /** Connections to serve before returning; 0 = serve forever. */
+    unsigned connections = 0;
+};
+
+class Daemon
+{
+  public:
+    /** Writes one response line (no trailing newline expected). */
+    using EmitFn = std::function<void(const std::string &)>;
+
+    explicit Daemon(DaemonOptions options);
+
+    /**
+     * Binds the unix socket (replacing a stale file), then accepts
+     * and serves connections until the configured count is reached.
+     * Returns 0, or throws ValidationError on socket setup failure.
+     */
+    int serve();
+
+    /**
+     * Serves one session over a stream pair: one request per input
+     * line, events written and flushed per line.
+     */
+    void serveStream(std::istream &in, std::ostream &out);
+
+    /**
+     * The transport-free core: parses @p line, runs the plan, emits
+     * response events through @p emit. Never throws — failures
+     * become an "error" event. Blank lines are ignored.
+     */
+    void handleRequest(const std::string &line, const EmitFn &emit);
+
+    /** The shared cache, when one is configured. */
+    ResultCache *cache() { return cache_ ? &*cache_ : nullptr; }
+
+  private:
+    DaemonOptions options_;
+    std::optional<ResultCache> cache_;
+};
+
+} // namespace sac::service
+
+#endif // SAC_SERVICE_DAEMON_HH

@@ -1,0 +1,159 @@
+#include "service/protocol.hh"
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/result_io.hh"
+#include "workload/suite.hh"
+
+namespace sac::service {
+
+const char *const requestSchema = "sac.sweep.v1";
+const char *const responseSchema = "sac.sweep-result.v1";
+
+namespace {
+
+/** Builds the (config, profile) pair one job spec describes, exactly
+ *  the way the sacsim CLI would. */
+void
+addJobSpec(ExperimentPlan &plan, const json::Value &spec)
+{
+    if (!spec.has("benchmark"))
+        invalid("sweep request", "job spec is missing \"benchmark\"");
+    const std::string benchmark = spec.at("benchmark").asString();
+
+    const int scale =
+        spec.has("scale") ? static_cast<int>(spec.at("scale").asU64()) : 4;
+    GpuConfig cfg = GpuConfig::scaled(scale);
+
+    const std::uint64_t seed =
+        spec.has("seed") ? spec.at("seed").asU64() : 1;
+    cfg.seed = seed;
+
+    if (spec.has("coherence")) {
+        const std::string c = spec.at("coherence").asString();
+        if (c != "sw" && c != "hw")
+            invalid(c, "coherence must be sw or hw");
+        cfg.coherence = c == "hw" ? CoherenceKind::Hardware
+                                  : CoherenceKind::Software;
+    }
+    if (spec.has("sectors")) {
+        cfg.sectorsPerLine =
+            static_cast<unsigned>(spec.at("sectors").asU64());
+    }
+    if (spec.has("interChipBw")) {
+        const double bw = spec.at("interChipBw").asDouble();
+        if (bw > 0.0)
+            cfg.interChipBw = bw;
+    }
+    cfg.validate();
+
+    WorkloadProfile profile = findBenchmark(benchmark);
+    if (spec.has("inputScale")) {
+        profile =
+            profile.withInputScale(spec.at("inputScale").asDouble());
+    }
+    if (spec.has("apw")) {
+        const std::uint64_t apw = spec.at("apw").asU64();
+        if (apw > 0) {
+            for (auto &phase : profile.phases)
+                phase.accessesPerWarp = apw;
+        }
+    }
+
+    const std::string label =
+        spec.has("label") ? spec.at("label").asString() : "";
+
+    const std::string org =
+        spec.has("org") ? spec.at("org").asString() : "all";
+    if (org == "all") {
+        plan.addOrgSweep(profile, cfg, ExperimentPlan::allOrganizations(),
+                         seed);
+    } else {
+        plan.add(profile, cfg, orgKindFromName(org), seed, label);
+    }
+}
+
+} // namespace
+
+SweepRequest
+parseRequest(const std::string &line)
+{
+    const json::Value doc = json::parse(line);
+    if (!doc.has("schema") ||
+        doc.at("schema").asString() != requestSchema) {
+        invalid("sweep request",
+                "expected a ", requestSchema, " document");
+    }
+    SweepRequest req;
+    if (doc.has("id"))
+        req.id = doc.at("id").asString();
+    if (doc.has("provenance")) {
+        const json::Value &p = doc.at("provenance");
+        p.require(json::Value::Type::Bool, "provenance");
+        req.provenance = p.boolean;
+    }
+    if (!doc.has("plan"))
+        invalid("sweep request", "missing \"plan\" array");
+    const json::Value &plan = doc.at("plan");
+    plan.require(json::Value::Type::Array, "plan");
+    if (plan.array.empty())
+        invalid("sweep request", "\"plan\" is empty");
+    for (const json::Value &spec : plan.array)
+        addJobSpec(req.plan, spec);
+    return req;
+}
+
+namespace {
+
+json::Builder
+eventHead(const std::string &id, const char *event)
+{
+    json::Builder b('{');
+    b.field("schema", json::escape(responseSchema))
+        .field("id", json::escape(id))
+        .field("event", json::escape(event));
+    return b;
+}
+
+} // namespace
+
+std::string
+recordEvent(const SweepRequest &request, const EngineProgress &event)
+{
+    json::Builder b = eventHead(request.id, "record");
+    b.field("jobIndex",
+            json::number(static_cast<std::uint64_t>(
+                event.record.jobIndex)));
+    if (request.provenance) {
+        b.field("source",
+                json::escape(toString(event.record.source)));
+    }
+    b.field("record", result_io::recordToJson(event.record));
+    return b.close('}');
+}
+
+std::string
+doneEvent(const SweepRequest &request, const SweepCounts &counts)
+{
+    json::Builder b = eventHead(request.id, "done");
+    b.field("jobs", json::number(static_cast<std::uint64_t>(counts.jobs)))
+        .field("simulated",
+               json::number(static_cast<std::uint64_t>(counts.simulated)))
+        .field("cacheHits",
+               json::number(static_cast<std::uint64_t>(counts.cacheHits)))
+        .field("cacheMisses", json::number(static_cast<std::uint64_t>(
+                                  counts.cacheMisses)))
+        .field("restored",
+               json::number(static_cast<std::uint64_t>(counts.restored)));
+    return b.close('}');
+}
+
+std::string
+errorEvent(const std::string &id, const std::string &message)
+{
+    json::Builder b = eventHead(id, "error");
+    b.field("message", json::escape(message));
+    return b.close('}');
+}
+
+} // namespace sac::service

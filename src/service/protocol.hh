@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The sacsimd wire protocol: newline-delimited JSON over a local
+ * stream (unix socket or stdio). One request line in, a stream of
+ * event lines out.
+ *
+ * Request (sac.sweep.v1) — one line:
+ *
+ *   { "schema": "sac.sweep.v1",
+ *     "id": "r1",                      // optional, echoed verbatim
+ *     "provenance": false,             // optional: per-record source
+ *     "plan": [ { "benchmark": "CFD",  // required, Table 4 name
+ *                 "org": "sac",        // mem|sm|static|dynamic|sac|all
+ *                 "seed": 1,           // optional, default 1
+ *                 "scale": 4,          // optional topology divisor
+ *                 "inputScale": 1.0,   // optional (Fig. 13 axis)
+ *                 "coherence": "sw",   // optional, sw|hw
+ *                 "sectors": 1,        // optional, 1|2|4
+ *                 "interChipBw": 0.0,  // optional, 0 = default
+ *                 "apw": 0,            // optional accesses/warp
+ *                 "label": "..." } ] } // optional display label
+ *
+ * "org": "all" expands to the five organizations in presentation
+ * order, exactly like sacsim --org all.
+ *
+ * Response (sac.sweep-result.v1) — one line per event, in plan
+ * order, flushed as delivered:
+ *
+ *   {"schema":"sac.sweep-result.v1","id":...,"event":"record",
+ *    "record":{...sac.results.v3 record, canonical...}}
+ *   {"schema":"sac.sweep-result.v1","id":...,"event":"done",
+ *    "jobs":N,"simulated":s,"cacheHits":h,"cacheMisses":m,
+ *    "restored":r}
+ *   {"schema":"sac.sweep-result.v1","id":...,"event":"error",
+ *    "message":"..."}
+ *
+ * Record payloads are canonical (no wall-clock fields), so two
+ * submissions of the same plan produce byte-identical record lines
+ * whether served from cache or simulated. Per-record provenance is
+ * opt-in ("provenance": true adds "source":"simulated|cache" to each
+ * record event) precisely so the default stream stays comparable;
+ * the aggregate counts always ride the done event.
+ */
+
+#ifndef SAC_SERVICE_PROTOCOL_HH
+#define SAC_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+#include "sim/engine.hh"
+#include "sim/plan.hh"
+
+namespace sac::service {
+
+extern const char *const requestSchema;  //!< "sac.sweep.v1"
+extern const char *const responseSchema; //!< "sac.sweep-result.v1"
+
+/** A parsed request: the plan to run plus response options. */
+struct SweepRequest
+{
+    std::string id;
+    ExperimentPlan plan;
+    /** Add "source" to each record event. */
+    bool provenance = false;
+};
+
+/**
+ * Parses one request line. Throws ValidationError (with the offending
+ * field in the context) on anything malformed — unknown schema,
+ * missing benchmark, bad organization name.
+ */
+SweepRequest parseRequest(const std::string &line);
+
+/** One "record" event line (no trailing newline). */
+std::string recordEvent(const SweepRequest &request,
+                        const EngineProgress &event);
+
+/** Per-run provenance totals for the done event. */
+struct SweepCounts
+{
+    std::size_t jobs = 0;
+    std::size_t simulated = 0;
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
+    std::size_t restored = 0;
+};
+
+/** The terminal "done" event line (no trailing newline). */
+std::string doneEvent(const SweepRequest &request,
+                      const SweepCounts &counts);
+
+/** An "error" event line (no trailing newline). */
+std::string errorEvent(const std::string &id, const std::string &message);
+
+} // namespace sac::service
+
+#endif // SAC_SERVICE_PROTOCOL_HH

@@ -1,0 +1,141 @@
+#include "service/result_cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "sim/result_io.hh"
+
+namespace sac::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *const cacheSchema = "sac.cache.v1";
+
+std::string
+hashName(const ExperimentJob &job)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(contentHash(job)));
+    return std::string(buf) + ".json";
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        invalid(dir_, "cannot create cache directory");
+}
+
+std::string
+ResultCache::entryPath(const ExperimentJob &job) const
+{
+    return (fs::path(dir_) / hashName(job)).string();
+}
+
+std::optional<RunRecord>
+ResultCache::lookup(const ExperimentJob &job)
+{
+    const std::string path = entryPath(job);
+    std::ifstream is(path);
+    if (!is) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    // Tolerant read: anything unusable — a torn write from a crashed
+    // process, a corrupted byte, a stale schema, a hash collision —
+    // is a miss; the job re-simulates and the store overwrites it.
+    try {
+        const json::Value doc = json::parse(buf.str());
+        if (!doc.has("schema") ||
+            doc.at("schema").asString() != cacheSchema) {
+            throw FatalError("wrong cache entry schema");
+        }
+        if (!doc.has("plan") ||
+            doc.at("plan").asString() != planSchemaVersion) {
+            throw FatalError("stale plan schema");
+        }
+        if (!doc.has("key") ||
+            doc.at("key").asString() != canonicalJobKey(job)) {
+            throw FatalError("canonical key mismatch");
+        }
+        RunRecord rec = result_io::recordFromValue(doc.at("record"));
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hits;
+        return rec;
+    } catch (const std::exception &) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rejected;
+        ++stats_.misses;
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(const ExperimentJob &job, const RunRecord &record)
+{
+    if (record.result.status != RunStatus::Ok)
+        return;
+
+    json::Builder doc('{');
+    doc.field("schema", json::escape(cacheSchema))
+        .field("plan", json::escape(planSchemaVersion))
+        .field("key", json::escape(canonicalJobKey(job)))
+        .field("record", result_io::recordToJson(record));
+
+    const std::string path = entryPath(job);
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long long>(::getpid())) +
+        "." + std::to_string(tmpSerial_.fetch_add(1));
+    {
+        std::ofstream os(tmp);
+        if (!os) {
+            warn("result cache: cannot write '", tmp, "'");
+            return;
+        }
+        os << doc.close('}') << "\n";
+        os.flush();
+        if (!os) {
+            warn("result cache: short write to '", tmp, "'");
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: rename to '", path, "' failed: ",
+             ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace sac::service

@@ -1,21 +1,63 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <exception>
-#include <fstream>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/plan.hh"
 #include "sim/result_io.hh"
 #include "workload/tracegen.hh"
 
 namespace sac {
 
+namespace {
+
+std::atomic<std::uint64_t> systemRuns{0};
+
+} // namespace
+
+const char *
+toString(RecordSource source)
+{
+    switch (source) {
+      case RecordSource::Simulated: return "simulated";
+      case RecordSource::Cache: return "cache";
+      case RecordSource::Checkpoint: return "checkpoint";
+    }
+    return "simulated";
+}
+
+RecordSource
+recordSourceFromName(const std::string &name)
+{
+    if (name == "simulated")
+        return RecordSource::Simulated;
+    if (name == "cache")
+        return RecordSource::Cache;
+    if (name == "checkpoint")
+        return RecordSource::Checkpoint;
+    invalid(name, "unknown record source");
+}
+
+bool
+cacheEligible(const ExperimentJob &job)
+{
+    return !job.telemetry.enabled() && !job.fault.enabled();
+}
+
 ExperimentEngine::ExperimentEngine(unsigned threads) : threads_(threads) {}
+
+std::uint64_t
+ExperimentEngine::simulatedSystemRuns()
+{
+    return systemRuns.load();
+}
 
 RunRecord
 ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index,
@@ -71,6 +113,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index,
     rec.benchmark = job.profile.name;
     rec.seed = job.seed;
     rec.attempts = attempt;
+    systemRuns.fetch_add(1, std::memory_order_relaxed);
     rec.result = system.run(kernelsFor(scaled));
     rec.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
@@ -159,6 +202,88 @@ runGuarded(const ExperimentJob &job, std::size_t index,
     }
 }
 
+/** ProgressFn adapter so callbacks ride the one delivery path. */
+class CallbackSink : public ResultSink
+{
+  public:
+    explicit CallbackSink(const ProgressFn &fn) : fn_(fn) {}
+
+    void onRecord(const EngineProgress &event) override { fn_(event); }
+
+  private:
+    const ProgressFn &fn_;
+};
+
+/** Offers freshly simulated ok records to the attached JobCache. */
+class CachePopulateSink : public ResultSink
+{
+  public:
+    CachePopulateSink(JobCache &cache) : cache_(cache) {}
+
+    void
+    onRecord(const EngineProgress &event) override
+    {
+        const RunRecord &rec = event.record;
+        if (rec.source == RecordSource::Simulated &&
+            rec.result.status == RunStatus::Ok &&
+            cacheEligible(event.job)) {
+            cache_.store(event.job, rec);
+        }
+    }
+
+  private:
+    JobCache &cache_;
+};
+
+/**
+ * Plan-order delivery: records are held until every earlier record
+ * has been delivered, so the onRecord sequence is deterministic for
+ * any worker count. All sink calls happen under one mutex — sinks
+ * never see concurrent or out-of-order events.
+ */
+class Emitter
+{
+  public:
+    Emitter(const ExperimentPlan &plan, std::vector<RunRecord> &records,
+            const std::vector<ResultSink *> &sinks)
+        : plan_(plan), records_(records), sinks_(sinks),
+          done_(records.size(), 0)
+    {
+    }
+
+    /** Marks records_[index] complete and flushes the ready prefix. */
+    void
+    complete(std::size_t index)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_[index] = 1;
+        while (next_ < done_.size() && done_[next_]) {
+            const EngineProgress event{next_ + 1, done_.size(),
+                                       plan_[next_], records_[next_]};
+            for (ResultSink *sink : sinks_)
+                sink->onRecord(event);
+            ++next_;
+        }
+    }
+
+    void
+    finish(const EngineDone &done)
+    {
+        SAC_ASSERT(next_ == done_.size(),
+                   "engine finished with undelivered records");
+        for (ResultSink *sink : sinks_)
+            sink->onDone(done);
+    }
+
+  private:
+    const ExperimentPlan &plan_;
+    std::vector<RunRecord> &records_;
+    const std::vector<ResultSink *> &sinks_;
+    std::vector<char> done_;
+    std::size_t next_ = 0;
+    std::mutex mutex_;
+};
+
 } // namespace
 
 std::vector<RunRecord>
@@ -168,19 +293,23 @@ ExperimentEngine::run(const ExperimentPlan &plan,
     const std::size_t n = plan.size();
     std::vector<RunRecord> out(n);
 
-    if (telemetry)
-        *telemetry = EngineTelemetry{};
-    if (n == 0)
-        return out;
+    EngineTelemetry local;
+    EngineTelemetry &tm = telemetry ? *telemetry : local;
+    tm = EngineTelemetry{};
+
+    // Delivery order: checkpoint writer and cache populator first
+    // (durability before observation), then explicit sinks, then the
+    // progress callback.
+    std::vector<ResultSink *> sinks;
+    std::optional<result_io::CheckpointSink> checkpoint_sink;
+    std::optional<CachePopulateSink> cache_sink;
+    std::optional<CallbackSink> progress_sink;
 
     // Checkpoint restore: ok records from a previous (possibly
     // killed) run of the same plan are taken as-is; everything else
     // re-runs. The reader tolerates truncated/corrupt lines, so a
     // mid-write SIGKILL costs at most the job that was in flight.
-    std::vector<char> restored(n, 0);
-    std::ofstream checkpoint_os;
-    std::mutex checkpoint_mutex;
-    bool checkpoint_bad = false;
+    std::vector<char> settled(n, 0);
     if (!plan.checkpointPath().empty()) {
         const auto prior =
             result_io::readCheckpointFile(plan.checkpointPath());
@@ -193,33 +322,49 @@ ExperimentEngine::run(const ExperimentPlan &plan,
             }
             out[i] = it->second;
             out[i].jobIndex = i;
-            restored[i] = 1;
+            out[i].source = RecordSource::Checkpoint;
+            settled[i] = 1;
         }
-        checkpoint_os.open(plan.checkpointPath(), std::ios::app);
-        if (!checkpoint_os)
-            invalid(plan.checkpointPath(),
-                    "cannot open checkpoint file for append");
+        checkpoint_sink.emplace(plan.checkpointPath());
+        sinks.push_back(&*checkpoint_sink);
     }
-    const auto checkpoint = [&](std::size_t index) {
-        if (!checkpoint_os.is_open())
-            return;
-        std::lock_guard<std::mutex> lock(checkpoint_mutex);
-        result_io::appendCheckpoint(
-            checkpoint_os,
-            result_io::checkpointKey(index, plan[index].label,
-                                     plan[index].seed),
-            out[index]);
-        checkpoint_os.flush();
-        if (!checkpoint_os && !checkpoint_bad) {
-            checkpoint_bad = true;
-            warn("checkpoint append to '", plan.checkpointPath(),
-                 "' failed; resume coverage stops here");
+
+    // Cache probe: a hit is served as-cached (byte-identical to the
+    // run that populated it) under this plan's index and label.
+    if (cache_) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (settled[i] || !cacheEligible(plan[i]))
+                continue;
+            if (auto hit = cache_->lookup(plan[i])) {
+                out[i] = std::move(*hit);
+                out[i].jobIndex = i;
+                out[i].label = plan[i].label;
+                out[i].source = RecordSource::Cache;
+                out[i].wallMs = 0.0;
+                out[i].queueMs = 0.0;
+                out[i].worker = 0;
+                settled[i] = 1;
+                ++tm.cacheHits;
+            } else {
+                ++tm.cacheMisses;
+            }
         }
-    };
+        cache_sink.emplace(*cache_);
+        sinks.push_back(&*cache_sink);
+    }
+
+    for (ResultSink *sink : sinks_)
+        sinks.push_back(sink);
+    if (progress_) {
+        progress_sink.emplace(progress_);
+        sinks.push_back(&*progress_sink);
+    }
+
+    Emitter emitter(plan, out, sinks);
 
     std::size_t remaining = 0;
     for (std::size_t i = 0; i < n; ++i)
-        remaining += restored[i] ? 0u : 1u;
+        remaining += settled[i] ? 0u : 1u;
 
     unsigned workers =
         threads_ ? threads_
@@ -228,10 +373,8 @@ ExperimentEngine::run(const ExperimentPlan &plan,
         std::max<std::size_t>(workers, 1), std::max<std::size_t>(
             remaining, 1)));
 
-    if (telemetry) {
-        telemetry->workers = workers;
-        telemetry->workerBusyMs.assign(workers, 0.0);
-    }
+    tm.workers = workers;
+    tm.workerBusyMs.assign(workers, 0.0);
 
     using clock_type = std::chrono::steady_clock;
     const auto engine_t0 = clock_type::now();
@@ -239,46 +382,35 @@ ExperimentEngine::run(const ExperimentPlan &plan,
         return std::chrono::duration<double, std::milli>(t - engine_t0)
             .count();
     };
-
-    std::size_t completed = 0;
-    std::mutex progress_mutex;
-    const auto report = [&](std::size_t index) {
-        if (!progress_)
-            return;
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        EngineProgress p{++completed, n, plan[index], out[index]};
-        progress_(p);
+    const auto finish = [&] {
+        tm.wallMs = ms_since(clock_type::now());
+        emitter.finish(EngineDone{n, tm});
     };
 
-    // Restored jobs count as completed immediately.
+    // Settled (restored / cache-hit) records deliver immediately.
     for (std::size_t i = 0; i < n; ++i) {
-        if (restored[i])
-            report(i);
+        if (settled[i])
+            emitter.complete(i);
     }
     if (remaining == 0) {
-        if (telemetry)
-            telemetry->wallMs = ms_since(clock_type::now());
+        finish();
         return out;
     }
 
     if (workers == 1) {
         // Inline serial path: no threads, same results by construction.
         for (std::size_t i = 0; i < n; ++i) {
-            if (restored[i])
+            if (settled[i])
                 continue;
             const double queued = ms_since(clock_type::now());
             out[i] = runGuarded(plan[i], i, plan.retry());
             out[i].queueMs = queued;
             out[i].worker = 0;
-            checkpoint(i);
-            if (telemetry) {
-                telemetry->busyMs += out[i].wallMs;
-                telemetry->workerBusyMs[0] += out[i].wallMs;
-            }
-            report(i);
+            tm.busyMs += out[i].wallMs;
+            tm.workerBusyMs[0] += out[i].wallMs;
+            emitter.complete(i);
         }
-        if (telemetry)
-            telemetry->wallMs = ms_since(clock_type::now());
+        finish();
         return out;
     }
 
@@ -287,7 +419,7 @@ ExperimentEngine::run(const ExperimentPlan &plan,
     {
         std::size_t dealt = 0;
         for (std::size_t i = 0; i < n; ++i) {
-            if (!restored[i])
+            if (!settled[i])
                 queues[dealt++ % workers].jobs.push_back(i);
         }
     }
@@ -343,8 +475,7 @@ ExperimentEngine::run(const ExperimentPlan &plan,
             out[job] = runGuarded(plan[job], job, plan.retry());
             out[job].queueMs = queued;
             out[job].worker = w;
-            checkpoint(job);
-            report(job);
+            emitter.complete(job);
         }
     };
 
@@ -355,15 +486,13 @@ ExperimentEngine::run(const ExperimentPlan &plan,
     for (auto &t : pool)
         t.join();
 
-    if (telemetry) {
-        telemetry->wallMs = ms_since(clock_type::now());
-        for (std::size_t i = 0; i < n; ++i) {
-            if (restored[i])
-                continue; // prior run's wall time, not this run's work
-            telemetry->busyMs += out[i].wallMs;
-            telemetry->workerBusyMs[out[i].worker] += out[i].wallMs;
-        }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (settled[i])
+            continue; // prior run's / cache's wall time, not ours
+        tm.busyMs += out[i].wallMs;
+        tm.workerBusyMs[out[i].worker] += out[i].wallMs;
     }
+    finish();
     return out;
 }
 

@@ -1,31 +1,43 @@
 /**
  * @file
- * The parallel experiment engine.
+ * The parallel experiment engine and its streaming delivery API.
  *
- * An ExperimentPlan is a declarative list of independent simulation
- * jobs — (workload, config, organization, seed) tuples with a display
- * label. The ExperimentEngine executes a plan on a work-stealing
- * thread pool and returns one RunRecord per job, in plan order,
- * regardless of how many workers ran them or in which order they
- * finished.
+ * An ExperimentPlan (sim/plan.hh) is a declarative list of
+ * independent simulation jobs. The ExperimentEngine executes a plan
+ * on a work-stealing thread pool and *streams* one RunRecord per job,
+ * in plan order, to any number of attached ResultSinks — the CLI JSON
+ * writer, the checkpoint writer, the result-cache populator and the
+ * sacsimd wire protocol are all sinks on this one delivery path. The
+ * classic batch API (run() returning a vector) is a thin wrapper
+ * around an internal collecting sink.
  *
  * Determinism: a job's measurements depend only on its own
  * (profile, config, org, seed) tuple — every job constructs a private
  * trace generator and System from its explicit seed, so results are
  * bit-identical to serial execution and independent of the thread
- * count. Only the wall-clock fields vary between runs.
+ * count. Sink delivery is serialized and happens in plan order (a
+ * record is held until every earlier record has been delivered), so
+ * the delivery sequence is deterministic for any worker count too.
  *
  * Fault tolerance: each job runs isolated. A job that throws — bad
  * configuration, trace validation failure, watchdog deadline,
  * livelock cap, simulator panic — becomes a RunRecord whose
  * RunResult carries a non-ok status and the error text as its
  * diagnostic; every other job's results are unaffected and run()
- * always returns a record per job. TransientError failures retry on
- * the same worker with bounded attempts (RetryPolicy), so retried
- * sweeps remain deterministic for any worker count. With a
+ * always delivers a record per job. TransientError failures retry on
+ * the same worker with bounded attempts (RetryPolicy). With a
  * checkpoint attached (ExperimentPlan::setCheckpoint), completed
- * jobs are appended to a JSONL file as they finish and a rerun of
- * the same plan re-executes only the missing or failed ones.
+ * jobs are appended to a JSONL file as they are delivered and a
+ * rerun of the same plan re-executes only the missing or failed
+ * ones.
+ *
+ * Memoization: attach a JobCache (setCache) and the engine consults
+ * it before scheduling work — a job whose content hash
+ * (sim/plan.hh, canonicalJobKey) is already cached is served from
+ * the cache byte-identically instead of re-simulated, and freshly
+ * simulated ok records are offered back for persistence. Jobs with
+ * telemetry or an injected fault bypass the cache (see
+ * cacheEligible).
  */
 
 #ifndef SAC_SIM_ENGINE_HH
@@ -33,19 +45,29 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
-// Plan construction (ExperimentJob/ExperimentPlan/RetryPolicy,
-// dataScale, kernelsFor) moved to sim/plan.hh: a plan is pure data
-// describing WHAT to simulate; this header owns HOW it executes.
-// The include below is a compatibility shim — code that picked those
-// types up through sim/engine.hh keeps compiling for one release;
-// new code should include sim/plan.hh directly.
-#include "sim/plan.hh"
 #include "sim/system.hh"
 
 namespace sac {
+
+class ExperimentPlan;
+struct ExperimentJob;
+
+/** Where a delivered record came from in this run. */
+enum class RecordSource : std::uint8_t
+{
+    Simulated,  //!< executed by this run's worker pool
+    Cache,      //!< served from an attached JobCache
+    Checkpoint, //!< restored from the plan's checkpoint file
+};
+
+const char *toString(RecordSource source);
+
+/** Parses toString(RecordSource) output; throws ValidationError else. */
+RecordSource recordSourceFromName(const std::string &name);
 
 /** Outcome of one job: the measurements plus engine bookkeeping. */
 struct RunRecord
@@ -64,6 +86,13 @@ struct RunRecord
     unsigned worker = 0;
     /** Attempts the job took (>1 only after transient retries). */
     int attempts = 1;
+    /**
+     * Provenance of this record in the run that delivered it.
+     * Volatile like the wall-clock fields: omitted from canonical
+     * JSON so cached and fresh documents stay byte-identical
+     * (result_io::WriteOptions{.timing = true} keeps it).
+     */
+    RecordSource source = RecordSource::Simulated;
 };
 
 /**
@@ -80,6 +109,10 @@ struct EngineTelemetry
     double busyMs = 0.0;
     /** Busy time per worker, ms; size == workers. */
     std::vector<double> workerBusyMs;
+    /** Jobs served from the attached JobCache. */
+    std::size_t cacheHits = 0;
+    /** Cache-eligible jobs the cache could not serve. */
+    std::size_t cacheMisses = 0;
 
     /** busyMs / (workers * wallMs): 1.0 = perfectly packed pool. */
     double utilization() const
@@ -90,18 +123,75 @@ struct EngineTelemetry
     }
 };
 
-/** Progress callback payload: fired once per completed job. */
+/** Delivery payload: one record, with plan-order progress counts. */
 struct EngineProgress
 {
-    /** Jobs finished so far (including this one) and plan size. */
+    /** Jobs delivered so far (including this one) and plan size. */
     std::size_t completed = 0;
     std::size_t total = 0;
-    /** The job that just finished and its record. */
+    /** The job this record answers and the record itself. */
     const ExperimentJob &job;
     const RunRecord &record;
 };
 
+/** End-of-plan payload: fired exactly once per run(). */
+struct EngineDone
+{
+    std::size_t total = 0;
+    const EngineTelemetry &telemetry;
+};
+
 using ProgressFn = std::function<void(const EngineProgress &)>;
+
+/**
+ * A consumer on the engine's delivery path. onRecord fires once per
+ * job, serialized and in plan order regardless of worker count or
+ * completion order; onDone fires once after the last record. Calls
+ * arrive on worker threads — a sink that blocks delays delivery of
+ * later records, never their computation.
+ */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** One delivered record. EngineProgress::record.source says
+     *  whether it was simulated, served from cache or restored. */
+    virtual void onRecord(const EngineProgress &event) = 0;
+
+    /** The plan is complete; telemetry totals are final. */
+    virtual void onDone(const EngineDone &done) { (void)done; }
+};
+
+/**
+ * Engine-side contract for a persistent result cache, keyed on the
+ * job's content hash (sim/plan.hh). The engine consults lookup()
+ * before scheduling a cache-eligible job and offers every freshly
+ * simulated ok record to store(). Implementations must be safe to
+ * call from worker threads; sac::service::ResultCache is the
+ * content-addressed on-disk implementation.
+ */
+class JobCache
+{
+  public:
+    virtual ~JobCache() = default;
+
+    /** The cached record for @p job, or nullopt on a miss. */
+    virtual std::optional<RunRecord> lookup(const ExperimentJob &job) = 0;
+
+    /** Offers a freshly simulated ok record for persistence. */
+    virtual void store(const ExperimentJob &job,
+                       const RunRecord &record) = 0;
+};
+
+/**
+ * True when @p job may be served from / populate a JobCache: no
+ * telemetry (a timeline changes the serialized record but not the
+ * content hash) and no injected fault (failures are not
+ * content-determined). Watchdog limits do not participate — a cached
+ * ok record is served even if the job also carries deadlines.
+ */
+bool cacheEligible(const ExperimentJob &job);
 
 /**
  * Work-stealing thread pool for experiment plans.
@@ -123,24 +213,38 @@ class ExperimentEngine
     explicit ExperimentEngine(unsigned threads = 0);
 
     /**
-     * Registers a progress callback. It is invoked from worker
-     * threads but never concurrently (the engine serializes calls),
-     * in completion order — which under parallel execution is not
-     * plan order; use EngineProgress::record.jobIndex to correlate.
+     * Registers a progress callback: a convenience sink that only
+     * wants the onRecord stream. Same delivery guarantees as
+     * ResultSink — serialized, plan order.
      */
     void onProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
     /**
-     * Executes every job and returns records in plan order. Jobs are
-     * isolated: a throwing job yields a record with a non-ok
+     * Attaches a delivery sink (non-owning; must outlive run()).
+     * Sinks fire in attachment order, after any internal sinks
+     * (checkpoint writer, cache populator).
+     */
+    void addSink(ResultSink &sink) { sinks_.push_back(&sink); }
+
+    /**
+     * Attaches a persistent result cache (non-owning, may be
+     * nullptr). Cache-eligible jobs already present are served from
+     * it instead of simulated; fresh ok records populate it.
+     */
+    void setCache(JobCache *cache) { cache_ = cache; }
+
+    /**
+     * Executes every job, streaming records to the attached sinks in
+     * plan order, and returns the records in plan order too. Jobs
+     * are isolated: a throwing job yields a record with a non-ok
      * RunResult::status and the error text in diagnostic; the sweep
      * always completes and the other jobs' results are untouched.
      * TransientError failures retry per the plan's RetryPolicy. When
      * the plan has a checkpoint, previously completed ok jobs are
      * restored instead of re-run and new completions are appended.
      * When @p telemetry is non-null it is filled with the run's
-     * job-level engine telemetry (executed jobs only; restored
-     * checkpoint records don't count as this run's work).
+     * job-level engine telemetry (executed jobs only; restored and
+     * cached records don't count as this run's work).
      */
     std::vector<RunRecord> run(const ExperimentPlan &plan,
                                EngineTelemetry *telemetry = nullptr) const;
@@ -155,11 +259,20 @@ class ExperimentEngine
     static RunRecord runJob(const ExperimentJob &job, std::size_t index = 0,
                             int attempt = 1);
 
+    /**
+     * Process-wide count of System::run invocations made through the
+     * engine (runJob attempts included). The memoization tests
+     * assert a fully cached sweep leaves this counter untouched.
+     */
+    static std::uint64_t simulatedSystemRuns();
+
     unsigned threads() const { return threads_; }
 
   private:
     unsigned threads_;
     ProgressFn progress_;
+    std::vector<ResultSink *> sinks_;
+    JobCache *cache_ = nullptr;
 };
 
 } // namespace sac

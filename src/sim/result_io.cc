@@ -107,6 +107,8 @@ runResultFromValue(const Value &v)
     return r;
 }
 
+} // namespace
+
 RunRecord
 recordFromValue(const Value &v)
 {
@@ -126,6 +128,10 @@ recordFromValue(const Value &v)
     // v3 addition; earlier documents ran exactly once.
     if (v.has("attempts"))
         rec.attempts = static_cast<int>(v.at("attempts").asU64());
+    // Provenance: volatile like the wall-clock fields, written only
+    // with timing and absent from pre-provenance documents.
+    if (v.has("source"))
+        rec.source = recordSourceFromName(v.at("source").asString());
     rec.result = runResultFromValue(v.at("result"));
     return rec;
 }
@@ -145,13 +151,18 @@ recordToJson(const RunRecord &rec, const WriteOptions &opts)
         b.field("wallMs", json::number(rec.wallMs))
             .field("queueMs", json::number(rec.queueMs))
             .field("worker",
-                   json::number(static_cast<std::uint64_t>(rec.worker)));
+                   json::number(static_cast<std::uint64_t>(rec.worker)))
+            .field("source", json::escape(toString(rec.source)));
     }
     b.field("result", toJson(rec.result));
     return b.close('}');
 }
 
-} // namespace
+RunRecord
+recordFromJson(const std::string &text)
+{
+    return recordFromValue(json::parse(text));
+}
 
 std::string
 toJson(const RunResult &r)
@@ -243,6 +254,58 @@ read(std::istream &is)
     std::ostringstream buf;
     buf << is.rdbuf();
     return fromJson(buf.str());
+}
+
+JsonDocumentSink::JsonDocumentSink(std::ostream &os,
+                                   const WriteOptions &opts)
+    : os_(os), opts_(opts)
+{
+}
+
+void
+JsonDocumentSink::onRecord(const EngineProgress &event)
+{
+    if (!open_) {
+        os_ << "{\"schema\":\"sac.results.v3\",\"results\":[";
+        open_ = true;
+    } else {
+        os_ << ',';
+    }
+    os_ << recordToJson(event.record, opts_);
+}
+
+void
+JsonDocumentSink::onDone(const EngineDone &)
+{
+    if (!open_)
+        os_ << "{\"schema\":\"sac.results.v3\",\"results\":[";
+    os_ << "]}" << "\n";
+    os_.flush();
+    open_ = false;
+}
+
+CheckpointSink::CheckpointSink(std::string path) : path_(std::move(path))
+{
+    os_.open(path_, std::ios::app);
+    if (!os_)
+        invalid(path_, "cannot open checkpoint file for append");
+}
+
+void
+CheckpointSink::onRecord(const EngineProgress &event)
+{
+    const RunRecord &rec = event.record;
+    if (rec.source == RecordSource::Checkpoint)
+        return; // it came from this file; re-appending adds nothing
+    appendCheckpoint(os_,
+                     checkpointKey(rec.jobIndex, rec.label, rec.seed),
+                     rec);
+    os_.flush();
+    if (!os_ && !bad_) {
+        bad_ = true;
+        warn("checkpoint append to '", path_,
+             "' failed; resume coverage stops here");
+    }
 }
 
 std::string

@@ -42,11 +42,13 @@
 #ifndef SAC_SIM_RESULT_IO_HH
 #define SAC_SIM_RESULT_IO_HH
 
+#include <fstream>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "sim/engine.hh"
 #include "sim/system.hh"
 
@@ -56,15 +58,26 @@ namespace sac::result_io {
 struct WriteOptions
 {
     /**
-     * Include wall-clock fields (wallMs, queueMs, worker). Off by
-     * default so documents are byte-identical across runs and worker
-     * counts; turn on for profiling output and checkpoint lines.
+     * Include the volatile fields (wallMs, queueMs, worker, source).
+     * Off by default so documents are byte-identical across runs,
+     * worker counts and cache hits; turn on for profiling output and
+     * checkpoint lines.
      */
     bool timing = false;
 };
 
 /** Serializes one RunResult as a JSON object. */
 std::string toJson(const RunResult &result);
+
+/** Serializes one RunRecord as a JSON object. */
+std::string recordToJson(const RunRecord &record,
+                         const WriteOptions &opts = {});
+
+/** Parses a RunRecord from the output of recordToJson. */
+RunRecord recordFromJson(const std::string &text);
+
+/** Parses a RunRecord from an already-parsed JSON value. */
+RunRecord recordFromValue(const json::Value &v);
 
 /** Serializes records (plan order) as a sac.results.v3 document. */
 std::string toJson(const std::vector<RunRecord> &records,
@@ -83,6 +96,52 @@ std::vector<RunRecord> fromJson(const std::string &text);
 
 /** Reads a sac.results document (v1, v2 or v3) from @p is. */
 std::vector<RunRecord> read(std::istream &is);
+
+// --- streaming sinks ----------------------------------------------------
+
+/**
+ * Streams a sac.results.v3 document to an ostream record by record —
+ * the one JSON writer behind sacsim --json and the daemon's batch
+ * exports. The bytes are identical to toJson(records): the document
+ * header goes out with the first record (or at onDone for an empty
+ * plan) and the closing bracket plus newline at onDone.
+ */
+class JsonDocumentSink : public ResultSink
+{
+  public:
+    explicit JsonDocumentSink(std::ostream &os,
+                              const WriteOptions &opts = {});
+
+    void onRecord(const EngineProgress &event) override;
+    void onDone(const EngineDone &done) override;
+
+  private:
+    std::ostream &os_;
+    WriteOptions opts_;
+    bool open_ = false;
+};
+
+/**
+ * Appends every delivered record to a sac.checkpoint.v1 JSONL file,
+ * flushing per line so a killed run loses at most the record in
+ * flight. Records restored *from* the checkpoint are not re-appended;
+ * cache-served records are (a later resume then restores them without
+ * needing the cache). Construction throws ValidationError when the
+ * file cannot be opened for append; a later write failure warns once
+ * and stops checkpoint coverage there.
+ */
+class CheckpointSink : public ResultSink
+{
+  public:
+    explicit CheckpointSink(std::string path);
+
+    void onRecord(const EngineProgress &event) override;
+
+  private:
+    std::string path_;
+    std::ofstream os_;
+    bool bad_ = false;
+};
 
 // --- checkpoints --------------------------------------------------------
 

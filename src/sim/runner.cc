@@ -10,6 +10,9 @@ Runner::run(const ExperimentPlan &plan, EngineTelemetry *telemetry) const
     ExperimentEngine engine(options_.jobs);
     if (options_.progress)
         engine.onProgress(options_.progress);
+    for (ResultSink *sink : sinks_)
+        engine.addSink(*sink);
+    engine.setCache(cache_);
     return engine.run(plan, telemetry);
 }
 

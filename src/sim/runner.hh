@@ -28,6 +28,7 @@
 #include "common/config.hh"
 #include "llc/organization.hh"
 #include "sim/engine.hh"
+#include "sim/plan.hh"
 #include "sim/system.hh"
 #include "workload/profile.hh"
 
@@ -55,6 +56,20 @@ class Runner
 
     /** Replaces the progress callback. */
     void onProgress(ProgressFn fn) { options_.progress = std::move(fn); }
+
+    /**
+     * Attaches a delivery sink for subsequent run() calls
+     * (non-owning; serialized, plan-order delivery — see
+     * ResultSink in sim/engine.hh).
+     */
+    void addSink(ResultSink &sink) { sinks_.push_back(&sink); }
+
+    /**
+     * Attaches a persistent result cache for subsequent run() calls
+     * (non-owning, nullptr detaches). Cache-eligible jobs already
+     * present are served from it; fresh ok records populate it.
+     */
+    void setCache(JobCache *cache) { cache_ = cache; }
 
     unsigned jobs() const { return options_.jobs; }
 
@@ -96,6 +111,8 @@ class Runner
 
   private:
     Options options_;
+    std::vector<ResultSink *> sinks_;
+    JobCache *cache_ = nullptr;
 };
 
 /** Speedup of @p result over @p baseline (cycles ratio). */

@@ -7,6 +7,7 @@
 
 #include "common/log.hh"
 #include "sim/engine.hh"
+#include "sim/plan.hh"
 #include "sim/result_io.hh"
 #include "sim/runner.hh"
 #include "workload/suite.hh"

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/engine.hh"
+#include "sim/plan.hh"
 #include "sim/result_io.hh"
 #include "sim/system.hh"
 #include "workload/suite.hh"

@@ -15,6 +15,7 @@
 #include "common/log.hh"
 #include "sim/engine.hh"
 #include "sim/fault_injection.hh"
+#include "sim/plan.hh"
 #include "sim/result_io.hh"
 #include "workload/suite.hh"
 

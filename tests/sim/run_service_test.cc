@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/engine.hh"
+#include "sim/plan.hh"
 #include "sim/run_service.hh"
 #include "sim/system.hh"
 #include "sim/watchdog.hh"

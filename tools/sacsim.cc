@@ -36,6 +36,8 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "service/result_cache.hh"
+#include "sim/plan.hh"
 #include "sim/report.hh"
 #include "sim/result_io.hh"
 #include "sim/runner.hh"
@@ -72,6 +74,7 @@ struct Options
     Cycle epoch = 0; // 0 = default (2048) when --timeline is given
     bool fastForward = true;
     std::string resumePath;
+    std::string cachePath;
     Cycle maxCycles = 0;    // 0 = no cycle deadline
     double maxWallMs = 0.0; // 0 = no wall-clock deadline
     int retries = 3;        // total attempts for transient failures
@@ -135,28 +138,15 @@ usage(int code)
         "(JSONL)\n"
         "                         and skip jobs already completed "
         "there\n"
+        "  --cache DIR            serve identical jobs from the\n"
+        "                         persistent result cache in DIR and\n"
+        "                         add fresh results to it\n"
         "  --max-cycles N         fail a job past N simulated cycles\n"
         "  --max-wall-ms X        fail a job past X wall-clock ms\n"
         "  --retries N            attempts per job for transient "
         "failures\n"
         "                         (default 3)\n";
     std::exit(code);
-}
-
-OrgKind
-parseOrg(const std::string &name)
-{
-    if (name == "mem")
-        return OrgKind::MemorySide;
-    if (name == "sm")
-        return OrgKind::SmSide;
-    if (name == "static")
-        return OrgKind::StaticLlc;
-    if (name == "dynamic")
-        return OrgKind::DynamicLlc;
-    if (name == "sac")
-        return OrgKind::Sac;
-    fatal("unknown organization '", name, "'");
 }
 
 /** "all" or a comma-separated subset, e.g. "mem,sac". */
@@ -175,7 +165,7 @@ parseOrgList(const std::string &spec)
                                    : comma - start);
         if (item.empty())
             fatal("empty entry in --org list '", spec, "'");
-        kinds.push_back(parseOrg(item));
+        kinds.push_back(orgKindFromName(item));
         if (comma == std::string::npos)
             break;
         start = comma + 1;
@@ -238,6 +228,8 @@ parse(int argc, char **argv)
             o.fastForward = false;
         else if (arg == "--resume")
             o.resumePath = value();
+        else if (arg == "--cache")
+            o.cachePath = value();
         else if (arg == "--max-cycles")
             o.maxCycles = std::stoull(value());
         else if (arg == "--max-wall-ms")
@@ -314,7 +306,7 @@ needsSerialPath(const Options &o, std::size_t num_orgs)
 }
 
 void
-printRecords(const Options &o, const std::vector<RunRecord> &records)
+printRecords(const std::vector<RunRecord> &records)
 {
     // Baseline for speedups: the first row that actually ran (a
     // failed row has no cycle count to compare against).
@@ -355,19 +347,6 @@ printRecords(const Options &o, const std::vector<RunRecord> &records)
         }
     }
     t.print(std::cout);
-
-    if (o.jsonPath.empty())
-        return;
-    if (o.jsonPath == "-") {
-        result_io::write(std::cout, records);
-    } else {
-        std::ofstream out(o.jsonPath);
-        if (!out)
-            fatal("cannot open '", o.jsonPath, "' for writing");
-        result_io::write(out, records);
-        std::cerr << "wrote " << records.size() << " result(s) to "
-                  << o.jsonPath << "\n";
-    }
 }
 
 std::ofstream
@@ -474,10 +453,16 @@ run(const Options &o)
     const std::vector<OrgKind> kinds = parseOrgList(o.org);
     const telemetry::Options topts = telemetryOptions(o);
     std::vector<RunRecord> records;
+    bool wrote_json = false;
 
     if (needsSerialPath(o, kinds.size())) {
         if (!o.resumePath.empty()) {
             fatal("--resume requires the engine path; it cannot be "
+                  "combined with --trace, --record or single-org "
+                  "--stats");
+        }
+        if (!o.cachePath.empty()) {
+            fatal("--cache requires the engine path; it cannot be "
                   "combined with --trace, --record or single-org "
                   "--stats");
         }
@@ -517,17 +502,63 @@ run(const Options &o)
             std::cerr << "  [" << p.completed << "/" << p.total << "] "
                       << p.job.label << "\n";
         };
+        Runner runner(ropts);
+
+        std::optional<service::ResultCache> cache;
+        if (!o.cachePath.empty()) {
+            cache.emplace(o.cachePath);
+            runner.setCache(&*cache);
+        }
+
+        // The CLI JSON writer rides the engine's delivery path: the
+        // document streams record by record, byte-identical to the
+        // batch serializer.
+        std::ofstream json_file;
+        std::optional<result_io::JsonDocumentSink> json_sink;
+        if (!o.jsonPath.empty()) {
+            std::ostream *json_out = &std::cout;
+            if (o.jsonPath != "-") {
+                json_file = openOut(o.jsonPath);
+                json_out = &json_file;
+            }
+            json_sink.emplace(*json_out);
+            runner.addSink(*json_sink);
+        }
+
         EngineTelemetry engine_tm;
-        records = Runner(ropts).run(plan, &engine_tm);
-        if (engine_tm.workers > 1) {
-            std::cerr << "engine: " << engine_tm.workers << " workers, "
+        records = runner.run(plan, &engine_tm);
+        if (engine_tm.workers > 1 || cache) {
+            std::cerr << "engine: " << engine_tm.workers << " worker(s), "
                       << report::num(engine_tm.wallMs, 0) << " ms wall, "
                       << report::percent(engine_tm.utilization())
-                      << " utilization\n";
+                      << " utilization";
+            if (cache) {
+                std::cerr << ", cache " << engine_tm.cacheHits
+                          << " hit(s) / " << engine_tm.cacheMisses
+                          << " miss(es)";
+            }
+            std::cerr << "\n";
         }
+        if (json_sink && o.jsonPath != "-") {
+            std::cerr << "wrote " << records.size() << " result(s) to "
+                      << o.jsonPath << "\n";
+        }
+        wrote_json = true;
     }
 
-    printRecords(o, records);
+    printRecords(records);
+    if (!wrote_json && !o.jsonPath.empty()) {
+        // Serial path: the engine never ran, so write the document
+        // in one batch (same bytes as the streaming sink).
+        if (o.jsonPath == "-") {
+            result_io::write(std::cout, records);
+        } else {
+            auto out = openOut(o.jsonPath);
+            result_io::write(out, records);
+            std::cerr << "wrote " << records.size() << " result(s) to "
+                      << o.jsonPath << "\n";
+        }
+    }
 
     if (!o.timelinePath.empty())
         writeTimelines(o.timelinePath, records);

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * sacsimd — the SAC experiment daemon.
+ *
+ * Listens on a local unix socket for sac.sweep.v1 plans (one
+ * newline-delimited JSON request per line), runs each plan on the
+ * fault-isolated ExperimentEngine worker pool, and streams
+ * sac.sweep-result.v1 record events back as jobs complete — in plan
+ * order, flushed per line. With --cache DIR every completed job is
+ * memoized in a persistent content-addressed store, so resubmitting a
+ * plan (same session or months later) replays byte-identical results
+ * without simulating anything.
+ *
+ *   sacsimd --socket /tmp/sacsimd.sock --cache ~/.cache/sacsim --jobs 4
+ *   sacsimd --stdio --cache cache.d       # one session over stdio
+ *
+ * Try it:
+ *
+ *   echo '{"schema":"sac.sweep.v1","id":"r1","plan":[{"benchmark":
+ *   "CFD","org":"all"}]}' | nc -U /tmp/sacsimd.sock
+ *
+ * See docs/SERVICE.md for the protocol and cache layout.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/daemon.hh"
+
+namespace {
+
+using namespace sac;
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: sacsimd [options]\n"
+        "  --socket PATH          listen on a unix socket at PATH\n"
+        "  --stdio                serve one session on stdin/stdout\n"
+        "                         instead of a socket\n"
+        "  --cache DIR            persist results in the\n"
+        "                         content-addressed cache at DIR\n"
+        "  --jobs N               worker threads per plan\n"
+        "                         (0 = all hardware threads, "
+        "default 1)\n"
+        "  --connections N        exit after serving N connections\n"
+        "                         (0 = serve forever, default)\n";
+    std::exit(code);
+}
+
+int
+run(int argc, char **argv)
+{
+    service::DaemonOptions options;
+    bool stdio = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "sacsimd: missing value for " << arg << "\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--socket")
+            options.socketPath = value();
+        else if (arg == "--stdio")
+            stdio = true;
+        else if (arg == "--cache")
+            options.cacheDir = value();
+        else if (arg == "--jobs")
+            options.jobs = static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--connections")
+            options.connections =
+                static_cast<unsigned>(std::stoul(value()));
+        else {
+            std::cerr << "sacsimd: unknown option '" << arg
+                      << "' (try --help)\n";
+            return 1;
+        }
+    }
+    if (!stdio && options.socketPath.empty()) {
+        std::cerr << "sacsimd: need --socket PATH or --stdio "
+                     "(try --help)\n";
+        return 1;
+    }
+
+    service::Daemon daemon(std::move(options));
+    if (stdio) {
+        daemon.serveStream(std::cin, std::cout);
+        return 0;
+    }
+    return daemon.serve();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "sacsimd: " << e.what() << "\n";
+        return 1;
+    }
+}
