@@ -4,7 +4,8 @@
  * the event-driven scheduler core versus the per-cycle reference
  * loop.
  *
- * Two shapes are *gated* (CI enforces a floor on their speedup):
+ * Every shape is *gated* (CI enforces a floor on its speedup). The
+ * two sparse shapes carry real speedup floors:
  *
  *  - idle-heavy: few warps with long compute gaps, so most cycles
  *    carry no work at all and the scheduler jumps them wholesale;
@@ -15,15 +16,17 @@
  *    of sweeping all of them, which is exactly what the event queue
  *    buys over the v1 skip-idle-cycles layer.
  *
- * A third, *tracked* family is the dense-traffic ladder (dense-g512 /
+ * The third family is the dense-traffic ladder (dense-g512 /
  * dense-g64 / dense-g0): back-to-back access streams stepping into
- * the DRAM-bandwidth-bound regime. There the wall time of both loops
- * is dominated by the per-access simulation work they share, so the
- * speedup converges towards ~1x by construction — the ladder records
- * how gracefully the event-driven core degrades, and the v2 schema
- * keeps it out of the gate on purpose (the v1 "issue-bound" shape was
- * the gap-0 rung of this ladder; see docs/PERFORMANCE.md for why it
- * was re-specified).
+ * the DRAM-bandwidth-bound regime, which the scheduler runs in its
+ * dense (flat-sweep) regime. There the wall time of both loops is
+ * dominated by the per-access simulation work they share, so the
+ * achievable speedup is pinned near 1x by construction (the
+ * decomposition is in docs/PERFORMANCE.md). The ladder is gated at a
+ * floor *below* that parity ceiling: the gate cannot prove a win the
+ * physics disallows, but it does catch the failure modes that matter
+ * — regime flapping, a heap pathology, per-cycle work creeping into
+ * the sweep — all of which push the ratio well under the floor.
  *
  * Results are asserted bit-identical between the two loops before any
  * number is reported. Writes BENCH_throughput.json (path overridable
@@ -33,6 +36,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -99,7 +103,12 @@ issueBound()
     return s;
 }
 
-/** One rung of the dense-traffic ladder (tracked, never gated). */
+/**
+ * One rung of the dense-traffic ladder. Gated at 0.75: measured
+ * ratios sit at ~0.85-1.25 (parity, as the shared-work decomposition
+ * predicts), and single-core CI runners swing individual runs by
+ * +/-20%. The floor is a collapse tripwire, not a speedup claim.
+ */
 Shape
 denseRung(Cycle compute_gap)
 {
@@ -110,6 +119,7 @@ denseRung(Cycle compute_gap)
     s.profile.numKernels = 1;
     s.profile.phases[0].computeGap = compute_gap;
     s.profile.phases[0].accessesPerWarp = 192;
+    s.floor = 0.75;
     return s;
 }
 
@@ -173,12 +183,23 @@ rowJson(const Row &row)
 {
     const double ed_rate = cyclesPerSec(row.ed);
     const double ref_rate = cyclesPerSec(row.ref);
+    json::Builder hist('[');
+    for (const std::uint64_t bucket : row.ed.ff.dueHist)
+        hist.item(json::number(bucket));
     json::Builder ed(json::Builder('{')
                          .field("wallSec", json::number(row.ed.wallSec))
                          .field("cyclesPerSec", json::number(ed_rate))
                          .field("skips", json::number(row.ed.ff.skips))
                          .field("skippedCycles",
-                                json::number(row.ed.ff.skippedCycles)));
+                                json::number(row.ed.ff.skippedCycles))
+                         .field("schedCycles",
+                                json::number(row.ed.ff.schedCycles))
+                         .field("heapPops", json::number(row.ed.ff.heapPops))
+                         .field("denseCycles",
+                                json::number(row.ed.ff.denseCycles))
+                         .field("denseSpans",
+                                json::number(row.ed.ff.denseSpans))
+                         .field("dueFractionHist", hist.close(']')));
     json::Builder out('{');
     out.field("name", json::escape(row.shape.name))
         .field("role", json::escape(row.shape.floor > 0.0 ? "gated"
@@ -214,16 +235,42 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
     os << doc << "\n";
 }
 
+/** True when $SAC_BENCH_SHAPES (comma list) is unset or names @p name. */
+bool
+shapeSelected(const std::string &name)
+{
+    const char *filter = std::getenv("SAC_BENCH_SHAPES");
+    if (!filter || !*filter)
+        return true;
+    const std::string list = filter;
+    std::size_t from = 0;
+    while (from <= list.size()) {
+        const std::size_t comma = list.find(',', from);
+        const std::size_t to = comma == std::string::npos ? list.size()
+                                                          : comma;
+        if (list.compare(from, to - from, name) == 0)
+            return true;
+        if (comma == std::string::npos)
+            break;
+        from = comma + 1;
+    }
+    return false;
+}
+
 void
 runThroughput(const std::string &out_path)
 {
     report::banner(std::cout, "Simulator throughput: event-driven core vs "
                               "per-cycle reference");
 
-    const int reps = 3;
+    int reps = 3;
+    if (const char *env = std::getenv("SAC_BENCH_REPS"))
+        reps = std::max(1, std::atoi(env));
     std::vector<Row> rows;
     for (const Shape &shape : {idleHeavy(), issueBound(), denseRung(512),
                                denseRung(64), denseRung(0)}) {
+        if (!shapeSelected(shape.name))
+            continue;
         std::cerr << "  measuring " << shape.name << " ...\n";
         Row row{shape, best(shape, true, reps), best(shape, false, reps)};
         // The whole point of the core: same results, less wall time.
@@ -238,12 +285,17 @@ runThroughput(const std::string &out_path)
     }
 
     report::Table t({"workload", "role", "sim cycles", "ref Mcyc/s",
-                     "ed Mcyc/s", "speedup", "skipped %"});
+                     "ed Mcyc/s", "speedup", "skipped %", "dense %"});
     for (const auto &row : rows) {
         const double skipped =
             row.ed.result.cycles
                 ? 100.0 * static_cast<double>(row.ed.ff.skippedCycles) /
                       static_cast<double>(row.ed.result.cycles)
+                : 0.0;
+        const double dense =
+            row.ed.ff.schedCycles
+                ? 100.0 * static_cast<double>(row.ed.ff.denseCycles) /
+                      static_cast<double>(row.ed.ff.schedCycles)
                 : 0.0;
         t.addRow({row.shape.name,
                   row.shape.floor > 0.0 ? "gated" : "tracked",
@@ -253,7 +305,8 @@ runThroughput(const std::string &out_path)
                   report::num(cyclesPerSec(row.ed) /
                                   cyclesPerSec(row.ref),
                               2),
-                  report::num(skipped, 1)});
+                  report::num(skipped, 1),
+                  report::num(dense, 1)});
     }
     t.print(std::cout);
 
@@ -280,6 +333,30 @@ BM_AdvanceIdle(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_AdvanceIdle);
+
+/**
+ * Micro: one reference tick() on the same idle system. The gap to
+ * BM_AdvanceIdle is the whole-machine sweep cost the event-driven
+ * core avoids — the ceiling on what scheduling can recover.
+ */
+void
+BM_TickIdle(benchmark::State &state)
+{
+    const Shape shape = idleHeavy();
+    GpuConfig cfg = shape.cfg;
+    cfg.validate();
+    const WorkloadProfile scaled = shape.profile.scaledData(dataScale(cfg));
+    SharingTraceGen gen(scaled, cfg, 1);
+    System sys(cfg, OrgKind::MemorySide, gen);
+    for (ChipId c = 0; c < cfg.numChips; ++c)
+        sys.chip(c).beginKernel(100000, 0);
+    for (int i = 0; i < 2000; ++i)
+        sys.tick(); // warm up
+    for (auto _ : state)
+        sys.tick();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TickIdle);
 
 } // namespace
 

@@ -15,7 +15,9 @@ SetAssocCache::SetAssocCache(std::uint64_t bytes, int ways,
       sectorsPerLine(sectors_per_line),
       split(ways),
       repl(policy ? std::move(policy) : std::make_unique<LruPolicy>()),
-      lines(numSets * static_cast<std::uint64_t>(ways))
+      lines(numSets * static_cast<std::uint64_t>(ways)),
+      tagKeys_(numSets * static_cast<std::uint64_t>(ways), 0),
+      wayScratch_(static_cast<std::size_t>(ways))
 {
     SAC_ASSERT(numSets > 0, "cache has zero sets");
     SAC_ASSERT(isPowerOfTwo(numSets), "set count must be a power of two");
@@ -39,11 +41,12 @@ CacheLine *
 SetAssocCache::findLine(Addr line_addr)
 {
     const auto set = setIndex(line_addr);
-    const Addr tag = line_addr >> lineShift;
-    CacheLine *base = &lines[set * static_cast<std::uint64_t>(numWays)];
+    const std::uint64_t key = tagKey(line_addr >> lineShift);
+    const std::uint64_t row = set * static_cast<std::uint64_t>(numWays);
+    const std::uint64_t *keys = &tagKeys_[row];
     for (int w = 0; w < numWays; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
+        if (keys[w] == key)
+            return &lines[row + static_cast<std::uint64_t>(w)];
     }
     return nullptr;
 }
@@ -112,12 +115,14 @@ SetAssocCache::insert(Addr line_addr, unsigned sector, ChipId home,
     SAC_ASSERT(count > 0, "allocation into an empty partition");
 
     const auto set = setIndex(line_addr);
-    CacheLine *base = &lines[set * static_cast<std::uint64_t>(numWays)];
+    const std::uint64_t row = set * static_cast<std::uint64_t>(numWays);
+    CacheLine *base = &lines[row];
 
-    std::vector<WayState> states(static_cast<std::size_t>(numWays));
-    for (int w = 0; w < numWays; ++w)
-        states[static_cast<std::size_t>(w)] = {base[w].valid, base[w].lastUse};
-    const int victim = repl->victim(states, first, count);
+    for (int w = 0; w < numWays; ++w) {
+        wayScratch_[static_cast<std::size_t>(w)] = {base[w].valid,
+                                                    base[w].lastUse};
+    }
+    const int victim = repl->victim(wayScratch_, first, count);
     SAC_ASSERT(victim >= first && victim < first + count,
                "victim outside partition");
 
@@ -133,6 +138,7 @@ SetAssocCache::insert(Addr line_addr, unsigned sector, ChipId home,
     slot.dirty = dirty;
     slot.lineAddr = line_addr;
     slot.tag = line_addr >> lineShift;
+    tagKeys_[row + static_cast<std::uint64_t>(victim)] = tagKey(slot.tag);
     slot.home = home;
     slot.sectorValid = sectorsPerLine == 1 ? 1u : bit;
     slot.sectorDirty = dirty ? slot.sectorValid : 0u;
@@ -151,13 +157,15 @@ void
 SetAssocCache::flushIf(const std::function<bool(const CacheLine &)> &pred,
                        const std::function<void(const CacheLine &)> &writeback)
 {
-    for (auto &line : lines) {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        CacheLine &line = lines[i];
         if (!line.valid || !pred(line))
             continue;
         if (line.dirty && writeback)
             writeback(line);
         countRemove(line);
         line = CacheLine{};
+        tagKeys_[i] = 0;
     }
 }
 
@@ -166,6 +174,7 @@ SetAssocCache::invalidate(Addr line_addr)
 {
     if (CacheLine *line = findLine(line_addr)) {
         countRemove(*line);
+        tagKeys_[static_cast<std::uint64_t>(line - lines.data())] = 0;
         *line = CacheLine{};
         return true;
     }

@@ -167,6 +167,13 @@ class SetAssocCache
         return slot < homeCount_.size() ? homeCount_[slot] : 0;
     }
 
+    /** Packed probe key for one way: (tag << 1) | valid. */
+    static std::uint64_t
+    tagKey(Addr tag)
+    {
+        return (static_cast<std::uint64_t>(tag) << 1) | 1u;
+    }
+
     std::uint64_t numSets;
     int numWays;
     unsigned lineBytes;
@@ -176,6 +183,16 @@ class SetAssocCache
     std::uint64_t useClock = 0;
     std::unique_ptr<ReplacementPolicy> repl;
     std::vector<CacheLine> lines; // numSets x numWays, row-major
+    /**
+     * Mirror of (valid, tag) per way, packed 8 bytes each so a probe
+     * touches one or two cache lines instead of walking the 48-byte
+     * CacheLine records — findLine is the hottest loop in the
+     * simulator (every L1 and LLC access). 0 means invalid;
+     * maintained by every path that flips validity or retags a way.
+     */
+    std::vector<std::uint64_t> tagKeys_; // numSets x numWays, row-major
+    /** Reused by insert() so victim selection never allocates. */
+    std::vector<WayState> wayScratch_;
     std::uint64_t validCount_ = 0;
     std::uint64_t dirtyCount_ = 0;
     /** Valid lines per home chip, indexed by home + 1 (invalidChip

@@ -4,7 +4,7 @@
 
 namespace sac {
 
-MshrFile::MshrFile(std::size_t entries) : cap(entries)
+MshrFile::MshrFile(std::size_t entries) : cap(entries), table(entries)
 {
     SAC_ASSERT(cap > 0, "MSHR file needs at least one entry");
 }
@@ -13,14 +13,18 @@ MshrFile::Outcome
 MshrFile::allocate(const Packet &pkt)
 {
     const auto k = key(pkt.lineAddr, pkt.sector);
-    auto it = table.find(k);
-    if (it != table.end()) {
-        it->second.push_back(pkt);
+    if (auto *targets = table.find(k)) {
+        targets->push_back(pkt);
         return Outcome::Merged;
     }
     if (table.size() >= cap)
         return Outcome::Full;
-    table.emplace(k, std::vector<Packet>{pkt});
+    auto [targets, inserted] = table.emplace(k);
+    SAC_ASSERT(inserted, "racing MSHR insert");
+    // The slot's vector is recycled (ProbeMap contract): clear it,
+    // keeping its capacity from earlier occupants.
+    targets->clear();
+    targets->push_back(pkt);
     return Outcome::Primary;
 }
 
@@ -30,25 +34,24 @@ MshrFile::has(Addr line_addr, unsigned sector) const
     return table.contains(key(line_addr, sector));
 }
 
-std::vector<Packet>
-MshrFile::complete(Addr line_addr, unsigned sector)
+void
+MshrFile::complete(Addr line_addr, unsigned sector, std::vector<Packet> &out)
 {
-    auto it = table.find(key(line_addr, sector));
-    if (it == table.end())
-        return {};
-    auto targets = std::move(it->second);
-    table.erase(it);
-    return targets;
+    const auto k = key(line_addr, sector);
+    auto *targets = table.find(k);
+    if (!targets)
+        return;
+    out.insert(out.end(), targets->begin(), targets->end());
+    table.erase(k);
 }
 
-std::vector<Packet>
-MshrFile::drainAll()
+void
+MshrFile::drainAll(std::vector<Packet> &out)
 {
-    std::vector<Packet> all;
-    for (auto &[k, targets] : table)
-        all.insert(all.end(), targets.begin(), targets.end());
+    table.forEach([&out](std::uint64_t, std::vector<Packet> &targets) {
+        out.insert(out.end(), targets.begin(), targets.end());
+    });
     table.clear();
-    return all;
 }
 
 } // namespace sac

@@ -6,15 +6,21 @@
  * every waiting requester — essential for truly shared hot lines,
  * where dozens of clusters miss on the same address in the same
  * window.
+ *
+ * The file is allocation-free in steady state: entries live in a flat
+ * open-addressing table (ProbeMap) whose per-entry target vectors are
+ * recycled across allocate/complete cycles, and complete()/drainAll()
+ * append into a caller-owned buffer instead of returning a fresh
+ * vector per fill.
  */
 
 #ifndef SAC_CACHE_MSHR_HH
 #define SAC_CACHE_MSHR_HH
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
+#include "common/probe_map.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
 
@@ -40,14 +46,15 @@ class MshrFile
     bool has(Addr line_addr, unsigned sector) const;
 
     /**
-     * Completes the miss, returning all coalesced target packets and
-     * freeing the entry. Returns an empty vector if no entry exists
-     * (e.g., a bulk flush already drained it).
+     * Completes the miss, appending all coalesced target packets to
+     * @p out (which is not cleared first) and freeing the entry.
+     * Appends nothing if no entry exists (e.g., a bulk flush already
+     * drained it).
      */
-    std::vector<Packet> complete(Addr line_addr, unsigned sector);
+    void complete(Addr line_addr, unsigned sector, std::vector<Packet> &out);
 
-    /** Drops every entry, returning all pending targets. */
-    std::vector<Packet> drainAll();
+    /** Drops every entry, appending all pending targets to @p out. */
+    void drainAll(std::vector<Packet> &out);
 
     std::size_t inUse() const { return table.size(); }
     std::size_t capacity() const { return cap; }
@@ -60,7 +67,7 @@ class MshrFile
     }
 
     std::size_t cap;
-    std::unordered_map<std::uint64_t, std::vector<Packet>> table;
+    ProbeMap<std::vector<Packet>> table;
 };
 
 } // namespace sac

@@ -38,9 +38,19 @@ escape(const std::string &s)
 std::string
 number(double v)
 {
+    // Shortest representation that round-trips: most doubles that
+    // occur in practice (2.3, 0.25, ...) are exact at 15 or 16
+    // significant digits; only print all max_digits10 == 17 when the
+    // shorter forms lose bits. This keeps benchmark and result JSON
+    // human-readable (2.3, not 2.2999999999999998) without ever
+    // changing the parsed value.
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%.*g",
-                  std::numeric_limits<double>::max_digits10, v);
+    for (int prec = 15; prec <= std::numeric_limits<double>::max_digits10;
+         ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
     return buf;
 }
 

@@ -8,17 +8,6 @@
 
 namespace sac {
 
-namespace {
-
-/** Rotate-left helper for xoshiro. */
-inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Rng::Rng(std::uint64_t seed, std::uint64_t salt)
 {
     // SplitMix64 expansion of (seed, salt) into the 256-bit state; a
@@ -29,42 +18,6 @@ Rng::Rng(std::uint64_t seed, std::uint64_t salt)
         x += 0x9e3779b97f4a7c15ULL;
         word = mix64(x);
     }
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
-    const std::uint64_t t = s[1] << 17;
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl(s[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    SAC_ASSERT(bound > 0, "nextBounded needs a positive bound");
-    // Rejection-free multiply-shift; bias is negligible for simulation
-    // population sizes (<< 2^32).
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next()) * bound) >> 64);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)

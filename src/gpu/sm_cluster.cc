@@ -59,7 +59,7 @@ SmCluster::makePacket(const MemAccess &acc, int warp, Cycle now) const
 }
 
 void
-SmCluster::park(int warp, const MemAccess &acc, std::deque<int> &queue)
+SmCluster::park(int warp, const MemAccess &acc, Ring<int> &queue)
 {
     WarpCtx &ctx = warps[static_cast<std::size_t>(warp)];
     ctx.stalled = acc;
@@ -69,7 +69,7 @@ SmCluster::park(int warp, const MemAccess &acc, std::deque<int> &queue)
 }
 
 void
-SmCluster::resumeParked(std::deque<int> &queue, Cycle now)
+SmCluster::resumeParked(Ring<int> &queue, Cycle now)
 {
     if (queue.empty())
         return;
@@ -230,12 +230,13 @@ SmCluster::deliver(const Packet &resp, Cycle now)
     // wake every warp that coalesced onto this line.
     l1.insert(resp.lineAddr, resp.sector, resp.homeChip, false,
               partitionLocal);
-    const auto targets = l1Mshrs.complete(resp.lineAddr, resp.sector);
-    SAC_ASSERT(!targets.empty(), "fill with no waiting warps");
+    fillTargets_.clear();
+    l1Mshrs.complete(resp.lineAddr, resp.sector, fillTargets_);
+    SAC_ASSERT(!fillTargets_.empty(), "fill with no waiting warps");
     // complete() freed one MSHR entry: hand it to the longest-parked
     // warp (its cached access may even hit the L1 or merge by now).
     resumeParked(mshrParked_, now);
-    for (const auto &t : targets) {
+    for (const auto &t : fillTargets_) {
         WarpCtx &warp = warps[static_cast<std::size_t>(t.warp)];
         SAC_ASSERT(warp.inFlight > 0, "fill for a warp with no loads");
         --warp.inFlight;

@@ -13,12 +13,12 @@
 #define SAC_GPU_SM_CLUSTER_HH
 
 #include <algorithm>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
+#include "common/ring.hh"
 #include "common/config.hh"
 #include "common/types.hh"
 #include "gpu/kernel.hh"
@@ -140,9 +140,9 @@ class SmCluster : public sim::Component
     Packet makePacket(const MemAccess &acc, int warp, Cycle now) const;
     /** Parks @p warp off the ready list with @p acc cached until the
      *  stalling cap frees (see WarpCtx::stalled). */
-    void park(int warp, const MemAccess &acc, std::deque<int> &queue);
+    void park(int warp, const MemAccess &acc, Ring<int> &queue);
     /** Returns the longest-parked warp in @p queue to the ready list. */
-    void resumeParked(std::deque<int> &queue, Cycle now);
+    void resumeParked(Ring<int> &queue, Cycle now);
 
     ChipId chip_;
     ClusterId id_;
@@ -163,8 +163,11 @@ class SmCluster : public sim::Component
     // park order. Resumed one-per-freed-slot from deliver(); a parked
     // warp always implies in-flight traffic, so resumption is never
     // starved (see issueEventCycle()).
-    std::deque<int> mshrParked_;
-    std::deque<int> writeParked_;
+    Ring<int> mshrParked_;
+    Ring<int> writeParked_;
+
+    /** Scratch for l1Mshrs.complete() targets, reused across fills. */
+    std::vector<Packet> fillTargets_;
 
     int outstandingWrites = 0;
     int retiredWarps = 0;

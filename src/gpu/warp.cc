@@ -20,7 +20,7 @@ WarpScheduler::wake(int warp, Cycle at)
 }
 
 void
-WarpScheduler::advance(Cycle now)
+WarpScheduler::surfaceDue(Cycle now)
 {
     while (!pending.empty() && pending.top().first <= now) {
         const int warp = pending.top().second;

@@ -13,10 +13,10 @@
 #define SAC_GPU_WARP_HH
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <vector>
 
+#include "common/ring.hh"
 #include "common/types.hh"
 #include "gpu/kernel.hh"
 
@@ -58,8 +58,17 @@ class WarpScheduler
     /** Schedules @p warp to become ready at @p at. */
     void wake(int warp, Cycle at);
 
-    /** Moves warps whose time has come into the ready list. */
-    void advance(Cycle now);
+    /**
+     * Moves warps whose time has come into the ready list. The empty
+     * / not-yet-due check is inline: every cluster tick calls this,
+     * and most ticks surface no warp.
+     */
+    void
+    advance(Cycle now)
+    {
+        if (!pending.empty() && pending.top().first <= now)
+            surfaceDue(now);
+    }
 
     /** True when some warp can issue right now. */
     bool hasReady() const { return !ready.empty(); }
@@ -95,8 +104,11 @@ class WarpScheduler
   private:
     using Pending = std::pair<Cycle, int>;
 
+    /** Out-of-line slow path of advance(): pops every due warp. */
+    void surfaceDue(Cycle now);
+
     int numWarps;
-    std::deque<int> ready;
+    Ring<int> ready;
     std::priority_queue<Pending, std::vector<Pending>,
                         std::greater<Pending>> pending;
     std::vector<char> inReady;

@@ -318,9 +318,13 @@ LlcSlice::processFill(const Packet &pkt, Cycle now, SliceEnv &env)
     if (pkt.homeChip != chip_)
         env.directoryFill(pkt.lineAddr, chip_);
 
-    auto targets = home_level ? homeMshrs.complete(pkt.lineAddr, pkt.sector)
-                              : mshrs.complete(pkt.lineAddr, pkt.sector);
-    for (auto &t : targets) {
+    fillTargets_.clear();
+    if (home_level) {
+        homeMshrs.complete(pkt.lineAddr, pkt.sector, fillTargets_);
+    } else {
+        mshrs.complete(pkt.lineAddr, pkt.sector, fillTargets_);
+    }
+    for (auto &t : fillTargets_) {
         Packet resp = t;
         resp.kind = PacketKind::Response;
         resp.dataFromMem = pkt.dataFromMem;

@@ -22,12 +22,13 @@
 #ifndef SAC_LLC_LLC_SLICE_HH
 #define SAC_LLC_LLC_SLICE_HH
 
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
 #include "common/config.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/queue.hh"
@@ -175,9 +176,11 @@ class LlcSlice : public sim::Component
 
     BwQueue inQ;
     BwQueue vcQ;
-    std::deque<Packet> fillQ;
+    Ring<Packet> fillQ;
     /** Primary misses waiting for memory-controller queue space. */
-    std::deque<Packet> missQ;
+    Ring<Packet> missQ;
+    /** Scratch for MshrFile::complete() targets, reused across fills. */
+    std::vector<Packet> fillTargets_;
     MshrFile mshrs;
     /**
      * Dedicated MSHRs for home-level (atHome) misses. Separate from

@@ -15,8 +15,8 @@
 #define SAC_MEM_DRAM_HH
 
 #include <cstddef>
-#include <deque>
 
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
@@ -84,7 +84,7 @@ class DramChannel
     std::size_t depth;
     /** Cycle until which previously accepted work occupies the pins. */
     double freeAt = 0.0;
-    std::deque<Entry> q;
+    Ring<Entry> q;
     std::uint64_t served = 0;
 };
 

@@ -37,10 +37,9 @@ MemCtrl::push(Packet pkt, Cycle now)
     ch.push(pkt, now);
 }
 
-std::vector<Packet>
-MemCtrl::tick(Cycle now)
+void
+MemCtrl::tick(Cycle now, std::vector<Packet> &fills)
 {
-    std::vector<Packet> fills;
     Packet pkt;
     for (auto &ch : channels) {
         while (ch.popReady(pkt, now)) {
@@ -56,7 +55,6 @@ MemCtrl::tick(Cycle now)
             fills.push_back(pkt);
         }
     }
-    return fills;
 }
 
 Cycle

@@ -38,10 +38,12 @@ class MemCtrl
     void push(Packet pkt, Cycle now);
 
     /**
-     * Collects completed requests. Reads come back as Response
-     * packets (dataFromMem set); writebacks are absorbed and counted.
+     * Collects completed requests, appending them to @p fills (which
+     * is not cleared first; the caller owns and reuses the buffer).
+     * Reads come back as Response packets (dataFromMem set);
+     * writebacks are absorbed and counted.
      */
-    std::vector<Packet> tick(Cycle now);
+    void tick(Cycle now, std::vector<Packet> &fills);
 
     /**
      * Spreads @p bytes of bulk flush traffic across all channels.

@@ -22,17 +22,19 @@ PageTable::touch(Addr line_addr, ChipId toucher)
                static_cast<std::size_t>(toucher) < perChip.size(),
                "touch from unknown chip ", toucher);
     const Addr page = line_addr >> pageShift;
-    auto [it, inserted] = table.emplace(page, toucher);
-    if (inserted)
+    auto [home, inserted] = table.emplace(page);
+    if (inserted) {
+        *home = toucher;
         ++perChip[static_cast<std::size_t>(toucher)];
-    return it->second;
+    }
+    return *home;
 }
 
 ChipId
 PageTable::homeOf(Addr line_addr) const
 {
-    auto it = table.find(line_addr >> pageShift);
-    return it == table.end() ? invalidChip : it->second;
+    const ChipId *home = table.find(line_addr >> pageShift);
+    return home ? *home : invalidChip;
 }
 
 void

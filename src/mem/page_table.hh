@@ -11,9 +11,9 @@
 #ifndef SAC_MEM_PAGE_TABLE_HH
 #define SAC_MEM_PAGE_TABLE_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/probe_map.hh"
 #include "common/types.hh"
 
 namespace sac {
@@ -44,7 +44,13 @@ class PageTable
 
   private:
     unsigned pageShift;
-    std::unordered_map<Addr, ChipId> table;
+    /**
+     * Flat open-addressing map (no per-insert node allocation; first
+     * touches are the hottest path of every cold kernel). Grows
+     * geometrically with the footprint and keeps its storage across
+     * clear(), so repeated runs allocate nothing.
+     */
+    ProbeMap<ChipId> table;
     std::vector<std::uint64_t> perChip;
 };
 

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/ring.hh"
 #include "common/types.hh"
 #include "noc/queue.hh"
 
@@ -83,7 +84,7 @@ class InterChipNet
     int chips;
     Cycle latency_;
     std::vector<BwQueue> egress;              // per source chip
-    std::vector<std::deque<Arrival>> inbox;   // per destination chip
+    std::vector<Ring<Arrival>> inbox;         // per destination chip
     std::uint64_t bytes = 0;
     std::vector<std::uint64_t> bytesBySrc;    // per source chip
 };

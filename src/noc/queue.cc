@@ -20,70 +20,12 @@ BwQueue::push(Packet pkt, Cycle now)
 }
 
 void
-BwQueue::beginCycle()
-{
-    // Carry at most one cycle's worth of unused credit so fractional
-    // rates average out without allowing unbounded bursts; debt from
-    // oversized packets is repaid across cycles.
-    budget = std::min(budget + bw, 2.0 * bw);
-}
-
-const Packet *
-BwQueue::peekReady(Cycle now) const
-{
-    // Token bucket with debt: a packet drains once any credit is
-    // available and drives the balance negative, so packets larger
-    // than the per-cycle budget serialize over several cycles instead
-    // of wedging (essential for slow inter-chip links).
-    if (q.empty())
-        return nullptr;
-    const Entry &head = q.front();
-    if (head.readyAt > now || budget <= 0.0)
-        return nullptr;
-    return &head.pkt;
-}
-
-void
 BwQueue::popHead()
 {
     SAC_ASSERT(!q.empty(), "popHead on empty queue");
     budget -= static_cast<double>(q.front().pkt.bytes);
     drained += q.front().pkt.bytes;
     q.pop_front();
-}
-
-bool
-BwQueue::tryPop(Packet &out, Cycle now)
-{
-    if (q.empty())
-        return false;
-    const Entry &head = q.front();
-    if (head.readyAt > now)
-        return false;
-    if (budget <= 0.0)
-        return false;
-    budget -= static_cast<double>(head.pkt.bytes);
-    drained += head.pkt.bytes;
-    out = head.pkt;
-    q.pop_front();
-    return true;
-}
-
-Cycle
-BwQueue::nextEventCycle(Cycle now) const
-{
-    if (q.empty())
-        return cycleNever;
-    const Entry &head = q.front();
-    if (head.readyAt > now)
-        return head.readyAt;
-    // A tick at `now` refills the budget (beginCycle) before draining,
-    // so the head goes out at `now` unless even the refilled budget
-    // stays non-positive. In that debt case `now + 1` is still
-    // conservative — the skip replays the missed refill — never late.
-    if (budget + bw <= 0.0)
-        return now + 1;
-    return now;
 }
 
 void

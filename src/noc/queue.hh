@@ -9,8 +9,8 @@
 #define SAC_NOC_QUEUE_HH
 
 #include <cstddef>
-#include <deque>
 
+#include "common/ring.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
 
@@ -45,14 +45,40 @@ class BwQueue
     /** Enqueues @p pkt at time @p now. @pre canPush(). */
     void push(Packet pkt, Cycle now);
 
+    // The per-cycle methods below are defined inline: every queue in
+    // the machine goes through them every simulated cycle, in both
+    // the reference loop and the event-driven replay.
+
     /** Refills the cycle's bandwidth budget. Call once per cycle. */
-    void beginCycle();
+    void
+    beginCycle()
+    {
+        // Carry at most one cycle's worth of unused credit so
+        // fractional rates average out without allowing unbounded
+        // bursts; debt from oversized packets is repaid across cycles.
+        budget = budget + bw < 2.0 * bw ? budget + bw : 2.0 * bw;
+    }
 
     /**
      * Pops the head packet if it is ready (latency elapsed, budget
      * available). Returns false when nothing can drain this cycle.
      */
-    bool tryPop(Packet &out, Cycle now);
+    bool
+    tryPop(Packet &out, Cycle now)
+    {
+        if (q.empty())
+            return false;
+        const Entry &head = q.front();
+        if (head.readyAt > now)
+            return false;
+        if (budget <= 0.0)
+            return false;
+        budget -= static_cast<double>(head.pkt.bytes);
+        drained += head.pkt.bytes;
+        out = head.pkt;
+        q.pop_front();
+        return true;
+    }
 
     /** Head packet without popping; null when empty. */
     const Packet *peek() const { return q.empty() ? nullptr : &q.front().pkt; }
@@ -61,8 +87,22 @@ class BwQueue
      * Head packet if it could drain this cycle (latency elapsed and
      * budget available), else null. Pair with popHead() so consumers
      * can inspect a packet and refuse it without losing ordering.
+     *
+     * Token bucket with debt: a packet drains once any credit is
+     * available and drives the balance negative, so packets larger
+     * than the per-cycle budget serialize over several cycles
+     * instead of wedging (essential for slow inter-chip links).
      */
-    const Packet *peekReady(Cycle now) const;
+    const Packet *
+    peekReady(Cycle now) const
+    {
+        if (q.empty())
+            return nullptr;
+        const Entry &head = q.front();
+        if (head.readyAt > now || budget <= 0.0)
+            return nullptr;
+        return &head.pkt;
+    }
 
     /** Consumes the head previously returned by peekReady(). */
     void popHead();
@@ -84,7 +124,23 @@ class BwQueue
      * it (and every later recomputation) reproduces the per-cycle
      * loop exactly.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (q.empty())
+            return cycleNever;
+        const Entry &head = q.front();
+        if (head.readyAt > now)
+            return head.readyAt;
+        // A tick at `now` refills the budget (beginCycle) before
+        // draining, so the head goes out at `now` unless even the
+        // refilled budget stays non-positive. In that debt case
+        // `now + 1` is still conservative — the skip replays the
+        // missed refill — never late.
+        if (budget + bw <= 0.0)
+            return now + 1;
+        return now;
+    }
 
     /**
      * Replays @p cycles idle beginCycle() refills in one call. Only
@@ -116,7 +172,7 @@ class BwQueue
     Cycle latency_;
     std::size_t capacity_;
     double budget = 0.0;
-    std::deque<Entry> q;
+    Ring<Entry> q;
     std::uint64_t drained = 0;
 };
 

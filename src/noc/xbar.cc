@@ -14,32 +14,6 @@ Xbar::Xbar(int ports, double port_bw, Cycle latency)
         queues.emplace_back(port_bw, latency);
 }
 
-bool
-Xbar::canPush(int port) const
-{
-    return queues[static_cast<std::size_t>(port)].canPush();
-}
-
-void
-Xbar::push(int port, Packet pkt, Cycle now)
-{
-    SAC_ASSERT(port >= 0 && port < ports(), "bad crossbar port ", port);
-    queues[static_cast<std::size_t>(port)].push(pkt, now);
-}
-
-void
-Xbar::beginCycle()
-{
-    for (auto &q : queues)
-        q.beginCycle();
-}
-
-bool
-Xbar::tryPop(int port, Packet &out, Cycle now)
-{
-    return queues[static_cast<std::size_t>(port)].tryPop(out, now);
-}
-
 Cycle
 Xbar::nextEventCycle(Cycle now) const
 {

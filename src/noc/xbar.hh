@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "noc/queue.hh"
 
@@ -35,17 +36,40 @@ class Xbar
      */
     Xbar(int ports, double port_bw, Cycle latency);
 
+    // The per-cycle forwarding wrappers are defined inline: both
+    // loops hit them for every cluster and slice every cycle, and
+    // each is a bounds-checked delegation to one BwQueue.
+
     /** True when port @p port can accept a packet. */
-    bool canPush(int port) const;
+    bool
+    canPush(int port) const
+    {
+        return queues[static_cast<std::size_t>(port)].canPush();
+    }
 
     /** Routes @p pkt to output @p port at time @p now. */
-    void push(int port, Packet pkt, Cycle now);
+    void
+    push(int port, Packet pkt, Cycle now)
+    {
+        SAC_ASSERT(port >= 0 && port < ports(), "bad crossbar port ",
+                   port);
+        queues[static_cast<std::size_t>(port)].push(pkt, now);
+    }
 
     /** Refills all port budgets; call once per cycle. */
-    void beginCycle();
+    void
+    beginCycle()
+    {
+        for (auto &q : queues)
+            q.beginCycle();
+    }
 
     /** Drains one ready packet from @p port if possible. */
-    bool tryPop(int port, Packet &out, Cycle now);
+    bool
+    tryPop(int port, Packet &out, Cycle now)
+    {
+        return queues[static_cast<std::size_t>(port)].tryPop(out, now);
+    }
 
     /** Earliest cycle any port might drain (see BwQueue contract). */
     Cycle nextEventCycle(Cycle now) const;

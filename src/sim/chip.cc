@@ -6,6 +6,26 @@
 
 namespace sac {
 
+namespace {
+
+/**
+ * Builds "c<chip>.<unit><index>" by appending into one string.
+ * Chained operator+ over temporaries trips a GCC 12 -Wrestrict false
+ * positive under -O2 (inlined self-copy check); appends do not.
+ */
+std::string
+unitName(ChipId chip, const char *unit, int index)
+{
+    std::string name = "c";
+    name += std::to_string(chip);
+    name += '.';
+    name += unit;
+    name += std::to_string(index);
+    return name;
+}
+
+} // namespace
+
 Chip::Chip(const GpuConfig &cfg, const AddressMap &map, ChipId id,
            TraceSource &trace, ChipHooks &hooks)
     : cfg_(cfg), map_(map), id_(id), hooks(hooks),
@@ -18,7 +38,10 @@ Chip::Chip(const GpuConfig &cfg, const AddressMap &map, ChipId id,
     slices.reserve(static_cast<std::size_t>(cfg.slicesPerChip));
     for (int s = 0; s < cfg.slicesPerChip; ++s)
         slices.push_back(std::make_unique<LlcSlice>(cfg, id, s));
-    memUnit_.setName("c" + std::to_string(id_) + ".mem");
+    std::string mem_name = "c";
+    mem_name += std::to_string(id_);
+    mem_name += ".mem";
+    memUnit_.setName(std::move(mem_name));
 }
 
 void
@@ -28,8 +51,7 @@ Chip::registerClusterComponents(sim::Scheduler &sched, ClusterEnv &env)
     clusterIds_.reserve(clusters.size());
     for (auto &cluster : clusters) {
         cluster->bind(env, respXbar.port(cluster->id()),
-                      "c" + std::to_string(id_) + ".cluster" +
-                          std::to_string(cluster->id()));
+                      unitName(id_, "cluster", cluster->id()));
         clusterIds_.push_back(sched.add(*cluster));
     }
 }
@@ -39,8 +61,7 @@ Chip::registerSliceComponents(sim::Scheduler &sched)
 {
     sliceIds_.reserve(slices.size());
     for (auto &slice : slices) {
-        slice->bind(*this, mem, "c" + std::to_string(id_) + ".slice" +
-                                    std::to_string(slice->index()));
+        slice->bind(*this, mem, unitName(id_, "slice", slice->index()));
         sliceIds_.push_back(sched.add(*slice));
     }
 }
@@ -140,10 +161,11 @@ Chip::tickMemory(Cycle now)
         mem.push(directBypassQ.front(), now);
         directBypassQ.pop_front();
     }
-    const auto fills = mem.tick(now);
-    for (const auto &fill : fills)
+    memFills_.clear();
+    mem.tick(now, memFills_);
+    for (const auto &fill : memFills_)
         dispatchFill(fill, now);
-    if (sched_ && !fills.empty()) {
+    if (sched_ && !memFills_.empty()) {
         // Completions freed memory-queue slots: slices parked on a
         // full controller queue can retry their missQ heads. The
         // scheduler clamps these to the next cycle (slice phase

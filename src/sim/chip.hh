@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/ring.hh"
 #include "common/types.hh"
 #include "gpu/kernel.hh"
 #include "gpu/sm_cluster.hh"
@@ -176,7 +177,9 @@ class Chip : public SliceEnv
     Xbar respXbar;
     MemCtrl mem;
     /** Bypass requests waiting for memory-queue space (two-NoC mode). */
-    std::deque<Packet> directBypassQ;
+    Ring<Packet> directBypassQ;
+    /** Scratch for MemCtrl::tick() fills, reused across cycles. */
+    std::vector<Packet> memFills_;
 
     // Scheduling registration (null/empty until System registers us).
     sim::Scheduler *sched_ = nullptr;

@@ -20,16 +20,6 @@ WakeQueue::add(Component &c, Cycle due)
 }
 
 void
-WakeQueue::wake(ComponentId id, Cycle at)
-{
-    SAC_ASSERT(id < comps_.size(), "wake of unregistered component ", id);
-    if (at >= keys_[id])
-        return; // lazy re-key: only the owner ever moves a key later
-    keys_[id] = at;
-    siftUp(pos_[id]);
-}
-
-void
 WakeQueue::rekey(ComponentId id, Cycle at)
 {
     SAC_ASSERT(id < comps_.size(), "rekey of unregistered component ", id);
@@ -37,10 +27,42 @@ WakeQueue::rekey(ComponentId id, Cycle at)
     if (at == old)
         return;
     keys_[id] = at;
+    if (flat_)
+        return;
     if (at < old)
         siftUp(pos_[id]);
     else
         siftDown(pos_[id]);
+}
+
+void
+WakeQueue::setFlat(bool flat)
+{
+    if (flat == flat_)
+        return;
+    flat_ = flat;
+    if (flat_)
+        return;
+    // Returning to sparse: the heap went stale while keys were set
+    // directly. Rebuild it from the authoritative key array — reset
+    // to the identity layout, then a bottom-up heapify (O(n)).
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        heap_[i] = static_cast<ComponentId>(i);
+        pos_[i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = heap_.size() / 2; i-- > 0;)
+        siftDown(i);
+}
+
+Cycle
+WakeQueue::nextDue() const
+{
+    if (!flat_)
+        return heap_.empty() ? cycleNever : keys_[heap_[0]];
+    Cycle next = cycleNever;
+    for (const Cycle k : keys_)
+        next = std::min(next, k);
+    return next;
 }
 
 void
@@ -89,19 +111,6 @@ Scheduler::add(Component &c)
 }
 
 void
-Scheduler::wake(ComponentId id, Cycle at)
-{
-    if (inCycle_) {
-        // Same-cycle visibility matches the reference phase order: a
-        // push is seen this cycle only by later-ordinal components;
-        // earlier (or same) ordinals already had their phase slot.
-        const Cycle floor = id <= curOrdinal_ ? curCycle_ + 1 : curCycle_;
-        at = std::max(at, floor);
-    }
-    queue_.wake(id, at);
-}
-
-void
 Scheduler::wakeAll(Cycle now)
 {
     for (ComponentId id = 0;
@@ -111,29 +120,86 @@ Scheduler::wakeAll(Cycle now)
 }
 
 void
+Scheduler::tickComponent(ComponentId id, Cycle now)
+{
+    Component &c = queue_.component(id);
+    const Cycle base = std::max(lastTickPlus1_[id], fullTickFloor_);
+    SAC_ASSERT(base <= now, "component ", c.name(),
+               " ticked twice in cycle ", now);
+    if (now > base)
+        c.skipIdleCycles(now - base);
+    lastTickPlus1_[id] = now + 1;
+    c.tick(now);
+    // Lazy re-key: nextEventCycle clamps to its argument, so the new
+    // key is > now and both regimes' loops always terminate.
+    queue_.rekey(id, std::max(c.nextEventCycle(now + 1), now + 1));
+}
+
+void
 Scheduler::runCycle(Cycle now)
 {
     inCycle_ = true;
     curCycle_ = now;
-    for (;;) {
-        const ComponentId id = queue_.peekDue(now);
-        if (id == invalidComponent)
-            break;
-        curOrdinal_ = id;
-        Component &c = queue_.component(id);
-        const Cycle base = std::max(lastTickPlus1_[id], fullTickFloor_);
-        SAC_ASSERT(base <= now, "component ", c.name(),
-                   " ticked twice in cycle ", now);
-        if (now > base)
-            c.skipIdleCycles(now - base);
-        lastTickPlus1_[id] = now + 1;
-        c.tick(now);
-        // Lazy re-key: nextEventCycle clamps to its argument, so the
-        // new key is > now and the pop loop always terminates.
-        queue_.rekey(id, std::max(c.nextEventCycle(now + 1), now + 1));
+    std::uint32_t ticked = 0;
+    if (queue_.flat()) {
+        // Dense regime: sweep the ordinal-ordered key array. Within a
+        // cycle the ticked-ordinal sequence is strictly increasing in
+        // either regime (same-cycle wakes from equal-or-earlier
+        // ordinals clamp to now + 1), so this forward sweep ticks
+        // exactly the components the heap would pop, in the same
+        // order — with zero heap traffic.
+        const auto n = static_cast<ComponentId>(queue_.size());
+        for (ComponentId id = 0; id < n; ++id) {
+            if (queue_.keyOf(id) > now)
+                continue;
+            curOrdinal_ = id;
+            tickComponent(id, now);
+            ++ticked;
+        }
+    } else {
+        for (;;) {
+            const ComponentId id = queue_.peekDue(now);
+            if (id == invalidComponent)
+                break;
+            curOrdinal_ = id;
+            tickComponent(id, now);
+            ++stats_.heapPops;
+            ++ticked;
+        }
     }
     inCycle_ = false;
     curOrdinal_ = invalidComponent;
+    updateRegime(ticked);
+}
+
+void
+Scheduler::updateRegime(std::uint32_t ticked)
+{
+    ++stats_.cycles;
+    const auto n = static_cast<std::uint32_t>(queue_.size());
+    if (n == 0)
+        return;
+    const std::uint32_t eighths = ticked * 8 / n;
+    ++stats_.dueHist[std::min<std::uint32_t>(eighths, 7)];
+    if (queue_.flat()) {
+        ++stats_.denseCycles;
+        // Exit hysteresis: a sustained run of mostly-idle cycles
+        // means the heap's skip-the-idle win is back on the table.
+        sparseRun_ = eighths <= exitNumerator ? sparseRun_ + 1 : 0;
+        if (sparseRun_ >= exitRunLen) {
+            queue_.setFlat(false);
+            sparseRun_ = 0;
+        }
+    } else {
+        // Enter hysteresis: a sustained run of mostly-due cycles
+        // means heap pops are pure overhead over a flat sweep.
+        denseRun_ = eighths >= enterNumerator ? denseRun_ + 1 : 0;
+        if (denseRun_ >= enterRunLen) {
+            queue_.setFlat(true);
+            denseRun_ = 0;
+            ++stats_.denseSpans;
+        }
+    }
 }
 
 void

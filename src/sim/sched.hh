@@ -41,9 +41,11 @@
 #ifndef SAC_SIM_SCHED_HH
 #define SAC_SIM_SCHED_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace sac {
@@ -92,6 +94,13 @@ class Component
  * decrease-key (sift-up only), rekey() an exact set. Both are O(log n)
  * worst case, and wake() is O(1) when the key does not improve — the
  * common case on hot push paths.
+ *
+ * The queue has a second, *flat* mode for dense traffic (most
+ * components due every cycle): wake() and rekey() just store the key
+ * — no sift, no heap traffic — and the owner sweeps the ordinal-
+ * ordered key array directly instead of popping. The heap array goes
+ * stale while flat; setFlat(false) re-heapifies in O(n). Keys are
+ * authoritative in both modes, so the switch never loses a deadline.
  */
 class WakeQueue
 {
@@ -102,8 +111,21 @@ class WakeQueue
     /**
      * Moves @p id's key earlier, to min(key, at). Never moves a key
      * later — deferring work is the owner's lazy re-key at pop time.
+     * Inline: producers call this at every push chokepoint, and the
+     * common cases (key unchanged, or flat mode's plain store) are a
+     * compare and a write.
      */
-    void wake(ComponentId id, Cycle at);
+    void
+    wake(ComponentId id, Cycle at)
+    {
+        SAC_ASSERT(id < comps_.size(), "wake of unregistered component ",
+                   id);
+        if (at >= keys_[id])
+            return; // lazy re-key: only the owner ever moves a key later
+        keys_[id] = at;
+        if (!flat_)
+            siftUp(pos_[id]);
+    }
 
     /** Sets @p id's key to exactly @p at (owner re-key after a tick). */
     void rekey(ComponentId id, Cycle at);
@@ -111,17 +133,25 @@ class WakeQueue
     /** Current key of @p id. */
     Cycle keyOf(ComponentId id) const { return keys_[id]; }
 
-    /** Smallest key over all components; cycleNever when empty. */
-    Cycle
-    nextDue() const
-    {
-        return heap_.empty() ? cycleNever : keys_[heap_[0]];
-    }
+    /**
+     * Selects flat (dense) or heap (sparse) mode. Leaving flat mode
+     * rebuilds the heap from the authoritative key array in O(n).
+     */
+    void setFlat(bool flat);
+    bool flat() const { return flat_; }
+
+    /**
+     * Smallest key over all components; cycleNever when empty. O(1)
+     * from the heap root in sparse mode, a linear min-scan of the key
+     * array in flat mode (n is small and the scan is branch-free).
+     */
+    Cycle nextDue() const;
 
     /**
      * Ordinal of the minimum-(key, ordinal) component if its key is
      * <= @p now, else invalidComponent. Does not remove it; the
      * caller ticks and rekey()s it, which surfaces the next one.
+     * Sparse (heap) mode only.
      */
     ComponentId
     peekDue(Cycle now) const
@@ -147,6 +177,7 @@ class WakeQueue
     std::vector<Cycle> keys_;        //!< by ordinal
     std::vector<std::uint32_t> pos_; //!< ordinal -> heap index
     std::vector<ComponentId> heap_;
+    bool flat_ = false;
 };
 
 /**
@@ -154,6 +185,24 @@ class WakeQueue
  * preserving reference-loop semantics: per-component idle-refill
  * replay, in-cycle ordinal ordering with same-cycle wake clamping,
  * and clock-jump exclusion.
+ *
+ * The scheduler runs in one of two regimes, switched adaptively on
+ * the measured due-fraction (components ticked / components
+ * registered) with hysteresis:
+ *
+ *  - *sparse* (the WakeQueue heap): pops only due components; pays
+ *    O(log n) per pop/wake but skips idle components entirely. Wins
+ *    when few components are due per cycle.
+ *  - *dense* (flat sweep): walks the ordinal-ordered key array and
+ *    ticks every component whose key is due — no heap traffic at
+ *    all. Wins when most components are due every cycle, exactly
+ *    where heap maintenance costs more than it saves.
+ *
+ * The regimes are observationally identical (same components ticked
+ * in the same ordinal order each cycle; docs/PERFORMANCE.md has the
+ * argument), so the switch is invisible in results. Fast-forward
+ * keeps working in the dense regime — nextDue() degrades to a short
+ * linear scan — so a dense kernel with an idle tail still skips it.
  */
 class Scheduler
 {
@@ -165,9 +214,23 @@ class Scheduler
      * Producer notification: @p id may have work at @p at. During a
      * runCycle() the cycle is clamped so a push from an equal-or-
      * later ordinal is seen next cycle, matching the reference
-     * loop's phase visibility.
+     * loop's phase visibility. Inline for the same reason as
+     * WakeQueue::wake — this sits on every push chokepoint.
      */
-    void wake(ComponentId id, Cycle at);
+    void
+    wake(ComponentId id, Cycle at)
+    {
+        if (inCycle_) {
+            // Same-cycle visibility matches the reference phase
+            // order: a push is seen this cycle only by later-ordinal
+            // components; earlier (or same) ordinals already had
+            // their phase slot.
+            const Cycle floor = id <= curOrdinal_ ? curCycle_ + 1
+                                                  : curCycle_;
+            at = at > floor ? at : floor;
+        }
+        queue_.wake(id, at);
+    }
 
     /**
      * Makes every component due at @p now. The escape hatch after an
@@ -202,7 +265,48 @@ class Scheduler
 
     const WakeQueue &queue() const { return queue_; }
 
+    /** Regime counters for one run (diagnosable from bench rows). */
+    struct Stats
+    {
+        /** runCycle() invocations (denominator for the ratios). */
+        std::uint64_t cycles = 0;
+        /** Heap pops taken in the sparse regime. */
+        std::uint64_t heapPops = 0;
+        /** Cycles run in the dense (flat-sweep) regime. */
+        std::uint64_t denseCycles = 0;
+        /** Contiguous dense spans entered (hysteresis transitions). */
+        std::uint64_t denseSpans = 0;
+        /**
+         * Due-fraction histogram: cycle counts by ticked/registered
+         * fraction, bucket i covering [i/8, (i+1)/8).
+         */
+        std::array<std::uint64_t, 8> dueHist{};
+    };
+
+    const Stats &stats() const { return stats_; }
+
+    /** True while the dense (flat-sweep) regime is active. */
+    bool denseRegime() const { return queue_.flat(); }
+
+    // Hysteresis constants (due-fraction thresholds in eighths, and
+    // the consecutive-cycle count required to switch). The crossover
+    // is low because the flat sweep is so cheap: checking all n keys
+    // is a handful of sequential cache lines, while every heap pop
+    // pays a siftDown over log n scattered ones — profiled on the
+    // dense bench shapes, the sweep wins as soon as even 1/8 of the
+    // components tick per cycle. Enter dense at >= 1/8 due for
+    // enterRunLen cycles; return to sparse only after exitRunLen
+    // cycles below 1/8, where whole-cycle skipping is the win and
+    // the heap's O(1) nextDue() matters.
+    static constexpr std::uint32_t enterNumerator = 1; //!< of 8
+    static constexpr std::uint32_t exitNumerator = 0;  //!< of 8
+    static constexpr std::uint32_t enterRunLen = 8;
+    static constexpr std::uint32_t exitRunLen = 16;
+
   private:
+    void tickComponent(ComponentId id, Cycle now);
+    void updateRegime(std::uint32_t ticked);
+
     WakeQueue queue_;
     /** Per component: cycle after its last tick (replay gap base). */
     std::vector<Cycle> lastTickPlus1_;
@@ -211,6 +315,12 @@ class Scheduler
     Cycle curCycle_ = 0;
     ComponentId curOrdinal_ = invalidComponent;
     bool inCycle_ = false;
+
+    Stats stats_;
+    /** Consecutive cycles at/above the enter threshold (sparse). */
+    std::uint32_t denseRun_ = 0;
+    /** Consecutive cycles at/below the exit threshold (dense). */
+    std::uint32_t sparseRun_ = 0;
 };
 
 } // namespace sim

@@ -501,6 +501,19 @@ System::advance()
     ++clock;
 }
 
+System::FastForwardStats
+System::fastForwardStats() const
+{
+    FastForwardStats merged = ffStats_;
+    const sim::Scheduler::Stats &s = sched_.stats();
+    merged.schedCycles = s.cycles;
+    merged.heapPops = s.heapPops;
+    merged.denseCycles = s.denseCycles;
+    merged.denseSpans = s.denseSpans;
+    merged.dueHist = s.dueHist;
+    return merged;
+}
+
 bool
 System::allDone() const
 {

@@ -210,14 +210,27 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
         std::uint64_t skips = 0;
         /** Cycles covered by jumps (not ticked one by one). */
         std::uint64_t skippedCycles = 0;
+        // Scheduler regime counters (sim::Scheduler::Stats), merged
+        // in so one struct diagnoses a bench row end to end.
+        /** Event-driven cycles actually run (runCycle calls). */
+        std::uint64_t schedCycles = 0;
+        /** Heap pops taken in the sparse regime. */
+        std::uint64_t heapPops = 0;
+        /** Cycles run in the dense (flat-sweep) regime. */
+        std::uint64_t denseCycles = 0;
+        /** Contiguous dense spans entered. */
+        std::uint64_t denseSpans = 0;
+        /** Due-fraction histogram, bucket i = [i/8, (i+1)/8). */
+        std::array<std::uint64_t, 8> dueHist{};
     };
 
     /**
-     * Skip counters for the current/last run. Deliberately not part
-     * of RunResult: results must stay byte-identical with
-     * fast-forward on and off, and these counters are zero when off.
+     * Skip and scheduler-regime counters for the current/last run.
+     * Deliberately not part of RunResult: results must stay
+     * byte-identical with fast-forward on and off, and these
+     * counters are zero when off.
      */
-    const FastForwardStats &fastForwardStats() const { return ffStats_; }
+    FastForwardStats fastForwardStats() const;
 
     // --- ClusterEnv -----------------------------------------------------
     void injectMiss(Packet &&pkt, Cycle now) override;

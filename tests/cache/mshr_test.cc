@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cache/mshr.hh"
 
 namespace sac {
@@ -15,6 +17,14 @@ pkt(Addr line, int warp, unsigned sector = 0)
     p.warp = warp;
     p.sector = static_cast<std::uint8_t>(sector);
     return p;
+}
+
+std::vector<Packet>
+complete(MshrFile &m, Addr line, unsigned sector)
+{
+    std::vector<Packet> out;
+    m.complete(line, sector, out);
+    return out;
 }
 
 TEST(Mshr, FirstMissIsPrimary)
@@ -32,7 +42,7 @@ TEST(Mshr, SameLineMerges)
     EXPECT_EQ(m.allocate(pkt(0x100, 1)), MshrFile::Outcome::Merged);
     EXPECT_EQ(m.allocate(pkt(0x100, 2)), MshrFile::Outcome::Merged);
     EXPECT_EQ(m.inUse(), 1u);
-    const auto targets = m.complete(0x100, 0);
+    const auto targets = complete(m, 0x100, 0);
     ASSERT_EQ(targets.size(), 3u);
     EXPECT_EQ(targets[0].warp, 0);
     EXPECT_EQ(targets[1].warp, 1);
@@ -57,14 +67,14 @@ TEST(Mshr, SectorsAreIndependentEntries)
     EXPECT_EQ(m.allocate(pkt(0x100, 0, 0)), MshrFile::Outcome::Primary);
     EXPECT_EQ(m.allocate(pkt(0x100, 1, 2)), MshrFile::Outcome::Primary);
     EXPECT_EQ(m.inUse(), 2u);
-    EXPECT_EQ(m.complete(0x100, 2).size(), 1u);
+    EXPECT_EQ(complete(m, 0x100, 2).size(), 1u);
     EXPECT_TRUE(m.has(0x100, 0));
 }
 
 TEST(Mshr, CompleteUnknownReturnsEmpty)
 {
     MshrFile m(2);
-    EXPECT_TRUE(m.complete(0x500, 0).empty());
+    EXPECT_TRUE(complete(m, 0x500, 0).empty());
 }
 
 TEST(Mshr, DrainReturnsEverything)
@@ -73,9 +83,39 @@ TEST(Mshr, DrainReturnsEverything)
     m.allocate(pkt(0x100, 0));
     m.allocate(pkt(0x100, 1));
     m.allocate(pkt(0x200, 2));
-    const auto all = m.drainAll();
+    std::vector<Packet> all;
+    m.drainAll(all);
     EXPECT_EQ(all.size(), 3u);
     EXPECT_EQ(m.inUse(), 0u);
+}
+
+TEST(Mshr, CompleteAppendsWithoutClearing)
+{
+    // The out-buffer contract: complete() appends to whatever the
+    // caller already collected (scratch reuse across fills).
+    MshrFile m(4);
+    m.allocate(pkt(0x100, 0));
+    m.allocate(pkt(0x200, 1));
+    std::vector<Packet> out;
+    m.complete(0x100, 0, out);
+    m.complete(0x200, 0, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].warp, 0);
+    EXPECT_EQ(out[1].warp, 1);
+}
+
+TEST(Mshr, ReallocateAfterCompleteRecyclesEntries)
+{
+    // Steady-state churn: allocate/complete cycles across many
+    // distinct lines must keep entry bookkeeping exact.
+    MshrFile m(8);
+    for (Addr base = 0; base < 64; ++base) {
+        const Addr line = 0x1000 + base * 0x40;
+        ASSERT_EQ(m.allocate(pkt(line, 0)), MshrFile::Outcome::Primary);
+        ASSERT_EQ(m.allocate(pkt(line, 1)), MshrFile::Outcome::Merged);
+        ASSERT_EQ(complete(m, line, 0).size(), 2u);
+        ASSERT_EQ(m.inUse(), 0u);
+    }
 }
 
 } // namespace

@@ -122,6 +122,27 @@ TEST_F(JsonHardening, NumberConversionsRejectMismatches)
     EXPECT_THROW(json::parse("{}").at("missing"), FatalError);
 }
 
+TEST_F(JsonHardening, DoubleFormattingIsShortestRoundTrip)
+{
+    // Human-friendly values print exactly as written...
+    EXPECT_EQ(json::number(2.3), "2.3");
+    EXPECT_EQ(json::number(0.1), "0.1");
+    EXPECT_EQ(json::number(1.5), "1.5");
+    EXPECT_EQ(json::number(-1500.0), "-1500");
+    EXPECT_EQ(json::number(0.0), "0");
+    // ...and every double, friendly or not, must survive a
+    // format -> parse round trip bit-exactly.
+    const std::vector<double> hard = {
+        2.2999999999999998, 1.0 / 3.0,      0.30000000000000004,
+        1e-300,             1.7976931348623157e308,
+        5.0000000000000009, 4.9406564584124654e-324,
+    };
+    for (const double v : hard) {
+        const std::string text = json::number(v);
+        EXPECT_EQ(json::parse(text).asDouble(), v) << text;
+    }
+}
+
 TEST_F(JsonHardening, GoodDocumentsStillParse)
 {
     const auto v = json::parse(

@@ -36,7 +36,7 @@ TEST_F(MemCtrlTest, ReadBecomesResponseWithMemOrigin)
     ctrl.push(request(0x1000), 0);
     std::vector<Packet> fills;
     for (Cycle t = 0; fills.empty() && t < 1000; ++t)
-        fills = ctrl.tick(t);
+        ctrl.tick(t, fills);
     ASSERT_EQ(fills.size(), 1u);
     EXPECT_EQ(fills[0].kind, PacketKind::Response);
     EXPECT_TRUE(fills[0].dataFromMem);
@@ -47,10 +47,10 @@ TEST_F(MemCtrlTest, ReadBecomesResponseWithMemOrigin)
 TEST_F(MemCtrlTest, WritebacksAreAbsorbedSilently)
 {
     ctrl.push(request(0x2000, PacketKind::Writeback), 0);
-    bool any = false;
+    std::vector<Packet> fills;
     for (Cycle t = 0; t < 1000; ++t)
-        any = any || !ctrl.tick(t).empty();
-    EXPECT_FALSE(any);
+        ctrl.tick(t, fills);
+    EXPECT_TRUE(fills.empty());
     EXPECT_EQ(ctrl.writesServed(), 1u);
 }
 
@@ -66,7 +66,7 @@ TEST_F(MemCtrlTest, FillSizeIsTheDramTransfer)
     ctrl.push(request(0x3000), 0);
     std::vector<Packet> fills;
     for (Cycle t = 0; fills.empty() && t < 1000; ++t)
-        fills = ctrl.tick(t);
+        ctrl.tick(t, fills);
     ASSERT_EQ(fills.size(), 1u);
     EXPECT_EQ(fills[0].bytes, 128u); // full line, conventional cache
     EXPECT_EQ(ctrl.bytesServed(), 128u);
@@ -81,7 +81,7 @@ TEST_F(MemCtrlTest, SectoredConfigFetchesSectors)
     sctrl.push(p, 0);
     std::vector<Packet> fills;
     for (Cycle t = 0; fills.empty() && t < 1000; ++t)
-        fills = sctrl.tick(t);
+        sctrl.tick(t, fills);
     ASSERT_EQ(fills.size(), 1u);
     EXPECT_EQ(fills[0].bytes, 32u); // 128 / 4 sectors
 }
