@@ -1,5 +1,7 @@
 #include "service/protocol.hh"
 
+#include <cmath>
+
 #include "common/config.hh"
 #include "common/log.hh"
 #include "sim/result_io.hh"
@@ -12,6 +14,37 @@ const char *const responseSchema = "sac.sweep-result.v1";
 
 namespace {
 
+/**
+ * Range-checked numeric readers. The JSON layer parses saturating —
+ * "1e999" becomes inf, a 30-digit integer becomes 2^64-1 — so the
+ * protocol rejects anything outside each field's documented range
+ * here, with the field name in the error, instead of letting a
+ * nonsense magnitude reach GpuConfig.
+ */
+std::uint64_t
+boundedU64(const json::Value &v, const char *name, std::uint64_t lo,
+           std::uint64_t hi)
+{
+    const std::uint64_t value = v.asU64();
+    if (value < lo || value > hi) {
+        invalid(name, "must be between ", lo, " and ", hi, ", got ",
+                v.text);
+    }
+    return value;
+}
+
+double
+boundedDouble(const json::Value &v, const char *name, double lo,
+              double hi)
+{
+    const double value = v.asDouble();
+    if (!std::isfinite(value) || value < lo || value > hi) {
+        invalid(name, "must be a finite number between ", lo, " and ",
+                hi, ", got ", v.text);
+    }
+    return value;
+}
+
 /** Builds the (config, profile) pair one job spec describes, exactly
  *  the way the sacsim CLI would. */
 void
@@ -22,7 +55,9 @@ addJobSpec(ExperimentPlan &plan, const json::Value &spec)
     const std::string benchmark = spec.at("benchmark").asString();
 
     const int scale =
-        spec.has("scale") ? static_cast<int>(spec.at("scale").asU64()) : 4;
+        spec.has("scale")
+            ? static_cast<int>(boundedU64(spec.at("scale"), "scale", 1, 64))
+            : 4;
     GpuConfig cfg = GpuConfig::scaled(scale);
 
     const std::uint64_t seed =
@@ -37,11 +72,12 @@ addJobSpec(ExperimentPlan &plan, const json::Value &spec)
                                   : CoherenceKind::Software;
     }
     if (spec.has("sectors")) {
-        cfg.sectorsPerLine =
-            static_cast<unsigned>(spec.at("sectors").asU64());
+        cfg.sectorsPerLine = static_cast<unsigned>(
+            boundedU64(spec.at("sectors"), "sectors", 1, 4));
     }
     if (spec.has("interChipBw")) {
-        const double bw = spec.at("interChipBw").asDouble();
+        const double bw = boundedDouble(spec.at("interChipBw"),
+                                        "interChipBw", 0.0, 1e9);
         if (bw > 0.0)
             cfg.interChipBw = bw;
     }
@@ -49,11 +85,12 @@ addJobSpec(ExperimentPlan &plan, const json::Value &spec)
 
     WorkloadProfile profile = findBenchmark(benchmark);
     if (spec.has("inputScale")) {
-        profile =
-            profile.withInputScale(spec.at("inputScale").asDouble());
+        profile = profile.withInputScale(boundedDouble(
+            spec.at("inputScale"), "inputScale", 1e-6, 1024.0));
     }
     if (spec.has("apw")) {
-        const std::uint64_t apw = spec.at("apw").asU64();
+        const std::uint64_t apw =
+            boundedU64(spec.at("apw"), "apw", 0, 1u << 30);
         if (apw > 0) {
             for (auto &phase : profile.phases)
                 phase.accessesPerWarp = apw;
@@ -91,6 +128,12 @@ parseRequest(const std::string &line)
         const json::Value &p = doc.at("provenance");
         p.require(json::Value::Type::Bool, "provenance");
         req.provenance = p.boolean;
+    }
+    if (doc.has("deadline_ms")) {
+        // Cap at ~12 days; anything larger is either saturated input
+        // or a value no deadline mechanism will ever see expire.
+        req.deadlineMs = boundedU64(doc.at("deadline_ms"), "deadline_ms",
+                                    1, 1000ull * 1000ull * 1000ull);
     }
     if (!doc.has("plan"))
         invalid("sweep request", "missing \"plan\" array");
@@ -149,10 +192,12 @@ doneEvent(const SweepRequest &request, const SweepCounts &counts)
 }
 
 std::string
-errorEvent(const std::string &id, const std::string &message)
+errorEvent(const std::string &id, const std::string &message,
+           bool retryable)
 {
     json::Builder b = eventHead(id, "error");
-    b.field("message", json::escape(message));
+    b.field("message", json::escape(message))
+        .field("retryable", retryable ? "true" : "false");
     return b.close('}');
 }
 

@@ -9,6 +9,7 @@
  *   { "schema": "sac.sweep.v1",
  *     "id": "r1",                      // optional, echoed verbatim
  *     "provenance": false,             // optional: per-record source
+ *     "deadline_ms": 60000,            // optional wall-clock budget
  *     "plan": [ { "benchmark": "CFD",  // required, Table 4 name
  *                 "org": "sac",        // mem|sm|static|dynamic|sac|all
  *                 "seed": 1,           // optional, default 1
@@ -32,7 +33,20 @@
  *    "jobs":N,"simulated":s,"cacheHits":h,"cacheMisses":m,
  *    "restored":r}
  *   {"schema":"sac.sweep-result.v1","id":...,"event":"error",
- *    "message":"..."}
+ *    "message":"...","retryable":false}
+ *
+ * "deadline_ms" is this plan's wall-clock budget, measured from the
+ * moment the daemon accepts the request (queue wait included). When
+ * it expires, jobs that have not finished are emitted as timed_out
+ * records and the stream still ends with a done event — the records
+ * already emitted are byte-identical to the same prefix of an
+ * undeadlined run. The daemon may tighten the effective deadline
+ * further (--max-plan-wall-ms).
+ *
+ * "retryable" on an error event distinguishes transient refusals
+ * (admission queue full, daemon draining — resubmit the identical
+ * request later) from permanent ones (malformed request — resubmitting
+ * the same bytes can never succeed).
  *
  * Record payloads are canonical (no wall-clock fields), so two
  * submissions of the same plan produce byte-identical record lines
@@ -64,12 +78,17 @@ struct SweepRequest
     ExperimentPlan plan;
     /** Add "source" to each record event. */
     bool provenance = false;
+    /** Wall-clock budget in milliseconds; 0 = none requested. */
+    std::uint64_t deadlineMs = 0;
 };
 
 /**
  * Parses one request line. Throws ValidationError (with the offending
  * field in the context) on anything malformed — unknown schema,
- * missing benchmark, bad organization name.
+ * missing benchmark, bad organization name, or an out-of-range
+ * numeric (every numeric field is bounds-checked here, because the
+ * JSON layer deliberately parses saturating: 1e999 arrives as inf
+ * and a 30-digit integer as 2^64-1).
  */
 SweepRequest parseRequest(const std::string &line);
 
@@ -91,8 +110,13 @@ struct SweepCounts
 std::string doneEvent(const SweepRequest &request,
                       const SweepCounts &counts);
 
-/** An "error" event line (no trailing newline). */
-std::string errorEvent(const std::string &id, const std::string &message);
+/**
+ * An "error" event line (no trailing newline). @p retryable marks
+ * transient refusals (overload, draining) the client should resubmit
+ * verbatim after a backoff; false means the request itself is bad.
+ */
+std::string errorEvent(const std::string &id, const std::string &message,
+                       bool retryable = false);
 
 } // namespace sac::service
 

@@ -1,12 +1,16 @@
 #include "service/result_cache.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/log.hh"
@@ -21,13 +25,64 @@ namespace {
 const char *const cacheSchema = "sac.cache.v1";
 
 std::string
-hashName(const ExperimentJob &job)
+hexHashName(std::uint64_t hash)
 {
     char buf[24];
     std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(contentHash(job)));
+                  static_cast<unsigned long long>(hash));
     return std::string(buf) + ".json";
 }
+
+std::string
+hashName(const ExperimentJob &job)
+{
+    return hexHashName(contentHash(job));
+}
+
+/** True for "<hex>.json" entry files; temporaries ("*.tmp.*") and
+ *  the lockfile never match. */
+bool
+isEntryName(const std::string &name)
+{
+    return name.size() > 5 &&
+           name.compare(name.size() - 5, 5, ".json") == 0 &&
+           name.find(".tmp.") == std::string::npos;
+}
+
+/** True for store() temporaries left behind by a crashed writer. */
+bool
+isTmpName(const std::string &name)
+{
+    return name.find(".tmp.") != std::string::npos;
+}
+
+/** RAII advisory lock: flock(LOCK_EX | LOCK_NB) on @p path. The
+ *  kernel releases flocks when the holder dies, so a SIGKILLed
+ *  pruner never leaves the lock stuck — the crash-safety property a
+ *  lockfile created with O_EXCL could not give. */
+class PruneLock
+{
+  public:
+    explicit PruneLock(const std::string &path)
+        : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644))
+    {
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~PruneLock()
+    {
+        if (fd_ >= 0)
+            ::close(fd_); // closing drops the flock
+    }
+
+    bool held() const { return fd_ >= 0; }
+
+  private:
+    int fd_;
+};
 
 } // namespace
 
@@ -76,6 +131,12 @@ ResultCache::lookup(const ExperimentJob &job)
             throw FatalError("canonical key mismatch");
         }
         RunRecord rec = result_io::recordFromValue(doc.at("record"));
+        // Touch the entry so prune()'s mtime order is LRU, not FIFO.
+        // Best effort: a concurrent prune may have unlinked the file.
+        std::error_code touch_ec;
+        fs::last_write_time(path,
+                            std::filesystem::file_time_type::clock::now(),
+                            touch_ec);
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
         return rec;
@@ -136,6 +197,169 @@ ResultCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+void
+ResultCache::setBudget(const Budget &budget)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = budget;
+}
+
+ResultCache::Budget
+ResultCache::budget() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budget_;
+}
+
+std::string
+ResultCache::pruneLockPath() const
+{
+    return (fs::path(dir_) / ".prune.lock").string();
+}
+
+ResultCache::PruneReport
+ResultCache::prune()
+{
+    return prune(budget());
+}
+
+ResultCache::PruneReport
+ResultCache::prune(const Budget &budget)
+{
+    PruneReport report;
+    if (!budget.any())
+        return report;
+
+    // One pruner at a time, across processes. Skipping on contention
+    // is correct: whoever holds the lock is enforcing the same
+    // budget, and this pass's caller retries after its next plan.
+    PruneLock lock(pruneLockPath());
+    if (!lock.held())
+        return report;
+    report.ran = true;
+
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+
+    std::error_code ec;
+    // Writer temporaries older than this are from dead processes —
+    // live stores rename within milliseconds of creating theirs.
+    const auto stale_before =
+        fs::file_time_type::clock::now() - std::chrono::minutes(15);
+    for (fs::directory_iterator it(dir_, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        const fs::path path = it->path();
+        const std::string name = path.filename().string();
+        std::error_code stat_ec;
+        if (!it->is_regular_file(stat_ec) || stat_ec)
+            continue;
+        const auto mtime = fs::last_write_time(path, stat_ec);
+        if (stat_ec)
+            continue; // raced with a concurrent unlink
+        if (isTmpName(name)) {
+            if (mtime < stale_before && fs::remove(path, stat_ec))
+                ++report.staleTmps;
+            continue;
+        }
+        if (!isEntryName(name))
+            continue;
+        const auto bytes = fs::file_size(path, stat_ec);
+        if (stat_ec)
+            continue;
+        entries.push_back({path, bytes, mtime});
+    }
+
+    report.scannedEntries = entries.size();
+    for (const Entry &e : entries)
+        report.scannedBytes += e.bytes;
+
+    const auto over = [&](std::uint64_t n, std::uint64_t bytes) {
+        return (budget.maxEntries > 0 && n > budget.maxEntries) ||
+               (budget.maxBytes > 0 && bytes > budget.maxBytes);
+    };
+    if (!over(entries.size(), report.scannedBytes))
+        return report;
+
+    // Oldest mtime first. Every removal is a single atomic unlink:
+    // there is no moment, SIGKILL included, at which a reader can
+    // observe a partial entry — only "present" or "gone".
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    std::uint64_t live = entries.size();
+    std::uint64_t liveBytes = report.scannedBytes;
+    for (const Entry &e : entries) {
+        if (!over(live, liveBytes))
+            break;
+        std::error_code rm_ec;
+        if (fs::remove(e.path, rm_ec)) {
+            ++report.removedEntries;
+            report.removedBytes += e.bytes;
+        }
+        // Count a raced-away entry as gone either way: a concurrent
+        // store replacing it bumped its mtime to "newest", so
+        // re-evaluating it would be wrong.
+        --live;
+        liveBytes -= e.bytes;
+    }
+    return report;
+}
+
+ResultCache::VerifyReport
+ResultCache::verify() const
+{
+    VerifyReport report;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir_, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        const fs::path path = it->path();
+        const std::string name = path.filename().string();
+        std::error_code stat_ec;
+        if (!it->is_regular_file(stat_ec) || stat_ec ||
+            !isEntryName(name)) {
+            continue;
+        }
+        ++report.entries;
+        const auto bytes = fs::file_size(path, stat_ec);
+        if (!stat_ec)
+            report.bytes += bytes;
+
+        // The same tolerance as lookup(), minus the job to compare
+        // against: instead, the filename must equal the hash of the
+        // canonical key the entry itself stores.
+        try {
+            std::ifstream is(path);
+            if (!is)
+                throw FatalError("unreadable");
+            std::ostringstream buf;
+            buf << is.rdbuf();
+            const json::Value doc = json::parse(buf.str());
+            if (!doc.has("schema") ||
+                doc.at("schema").asString() != cacheSchema) {
+                throw FatalError("wrong cache entry schema");
+            }
+            if (!doc.has("plan") || !doc.has("key") ||
+                !doc.has("record")) {
+                throw FatalError("missing field");
+            }
+            (void)result_io::recordFromValue(doc.at("record"));
+            if (hexHashName(contentHashOfKey(doc.at("key").asString())) !=
+                name) {
+                throw FatalError("filename / key hash mismatch");
+            }
+        } catch (const std::exception &) {
+            ++report.rejected;
+        }
+    }
+    return report;
 }
 
 } // namespace sac::service

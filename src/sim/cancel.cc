@@ -1,0 +1,70 @@
+#include "sim/cancel.hh"
+
+namespace sac {
+
+void
+CancelToken::latch(const std::string &reason) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!flag_.load(std::memory_order_relaxed)) {
+        reason_ = reason;
+        flag_.store(true, std::memory_order_release);
+    }
+}
+
+void
+CancelToken::cancel(const std::string &reason)
+{
+    latch(reason);
+}
+
+void
+CancelToken::setDeadlineAfterMs(double ms, const std::string &reason)
+{
+    const auto at =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (armed_.load(std::memory_order_relaxed) && at >= deadline_)
+        return; // an earlier, tighter deadline stays authoritative
+    deadline_ = at;
+    deadlineReason_ = reason;
+    armed_.store(true, std::memory_order_release);
+}
+
+bool
+CancelToken::cancelled() const
+{
+    if (flag_.load(std::memory_order_acquire))
+        return true;
+    if (armed_.load(std::memory_order_acquire)) {
+        bool expired = false;
+        std::string why;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (std::chrono::steady_clock::now() >= deadline_) {
+                expired = true;
+                why = deadlineReason_;
+            }
+        }
+        if (expired) {
+            latch(why);
+            return true;
+        }
+    }
+    if (parent_ && parent_->cancelled()) {
+        latch(parent_->reason());
+        return true;
+    }
+    return false;
+}
+
+std::string
+CancelToken::reason() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reason_;
+}
+
+} // namespace sac

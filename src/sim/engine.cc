@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/cancel.hh"
 #include "sim/plan.hh"
 #include "sim/result_io.hh"
 #include "workload/tracegen.hh"
@@ -61,7 +62,7 @@ ExperimentEngine::simulatedSystemRuns()
 
 RunRecord
 ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index,
-                         int attempt)
+                         int attempt, const CancelToken *cancel)
 {
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -77,6 +78,7 @@ ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index,
     System system(cfg, job.org, gen);
     system.setFastForward(job.fastForward);
     system.setRunLimits(job.limits);
+    system.setCancelToken(cancel);
     if (job.telemetry.enabled())
         system.enableTelemetry(job.telemetry);
 
@@ -147,6 +149,17 @@ failedRecord(const ExperimentJob &job, std::size_t index, int attempts,
     return rec;
 }
 
+/** Record for a job the cancellation token stopped before it ever
+ *  reached a worker. Deterministic text: the reason is whatever the
+ *  canceller latched, never host timing. */
+RunRecord
+cancelledRecord(const ExperimentJob &job, std::size_t index,
+                const CancelToken &cancel)
+{
+    return failedRecord(job, index, 1, RunStatus::TimedOut,
+                        "cancelled before start: " + cancel.reason());
+}
+
 /**
  * The isolation layer: runs one job, classifies anything it throws
  * into a RunStatus, and retries transient failures inline. Never
@@ -154,7 +167,7 @@ failedRecord(const ExperimentJob &job, std::size_t index, int attempts,
  */
 RunRecord
 runGuarded(const ExperimentJob &job, std::size_t index,
-           const RetryPolicy &retry)
+           const RetryPolicy &retry, const CancelToken *cancel)
 {
     const auto t0 = std::chrono::steady_clock::now();
     const auto elapsed_ms = [t0] {
@@ -167,9 +180,12 @@ runGuarded(const ExperimentJob &job, std::size_t index,
     for (;;) {
         RunRecord rec;
         try {
-            return ExperimentEngine::runJob(job, index, attempt);
+            return ExperimentEngine::runJob(job, index, attempt, cancel);
         } catch (const TransientError &e) {
-            if (attempt < max_attempts) {
+            // A cancelled plan stops retrying: the remaining attempts
+            // would only burn the drain budget.
+            if (attempt < max_attempts &&
+                !(cancel && cancel->cancelled())) {
                 if (retry.backoffMs > 0.0) {
                     // Exponential, wall-clock only: simulated results
                     // never depend on how long we waited.
@@ -403,7 +419,9 @@ ExperimentEngine::run(const ExperimentPlan &plan,
             if (settled[i])
                 continue;
             const double queued = ms_since(clock_type::now());
-            out[i] = runGuarded(plan[i], i, plan.retry());
+            out[i] = cancel_ && cancel_->cancelled()
+                         ? cancelledRecord(plan[i], i, *cancel_)
+                         : runGuarded(plan[i], i, plan.retry(), cancel_);
             out[i].queueMs = queued;
             out[i].worker = 0;
             tm.busyMs += out[i].wallMs;
@@ -472,7 +490,10 @@ ExperimentEngine::run(const ExperimentPlan &plan,
                 continue;
             }
             const double queued = ms_since(clock_type::now());
-            out[job] = runGuarded(plan[job], job, plan.retry());
+            out[job] = cancel_ && cancel_->cancelled()
+                           ? cancelledRecord(plan[job], job, *cancel_)
+                           : runGuarded(plan[job], job, plan.retry(),
+                                        cancel_);
             out[job].queueMs = queued;
             out[job].worker = w;
             emitter.complete(job);

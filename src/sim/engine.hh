@@ -53,6 +53,7 @@
 
 namespace sac {
 
+class CancelToken;
 class ExperimentPlan;
 struct ExperimentJob;
 
@@ -234,6 +235,30 @@ class ExperimentEngine
     void setCache(JobCache *cache) { cache_ = cache; }
 
     /**
+     * Attaches a cooperative cancellation token (non-owning, may be
+     * nullptr) observed by every subsequent run(): jobs not yet
+     * started when the token cancels are delivered as timed_out
+     * records without simulating, and in-flight jobs observe the
+     * token at the run loop's watchdog poll points and finish as
+     * timed_out too. Cache and checkpoint restores still serve (they
+     * cost no simulation), records already delivered are untouched,
+     * and onDone still fires — a cancelled sweep completes, it just
+     * stops computing.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
+    /**
+     * Detaches every sink and the progress callback (the cache and
+     * cancel token stay). For owners that reuse one engine across
+     * plans with per-plan sinks, e.g. the sacsimd session loop.
+     */
+    void clearSinks()
+    {
+        sinks_.clear();
+        progress_ = nullptr;
+    }
+
+    /**
      * Executes every job, streaming records to the attached sinks in
      * plan order, and returns the records in plan order too. Jobs
      * are isolated: a throwing job yields a record with a non-ok
@@ -254,10 +279,12 @@ class ExperimentEngine
      * propagates exceptions — it is the raw building block the
      * engine's isolation layer wraps. @p attempt numbers retries
      * from 1 (a Transient fault fires only while
-     * attempt <= fault.failAttempts).
+     * attempt <= fault.failAttempts). @p cancel, when non-null, is
+     * observed at the run's watchdog poll points (SimTimeoutError).
      */
     static RunRecord runJob(const ExperimentJob &job, std::size_t index = 0,
-                            int attempt = 1);
+                            int attempt = 1,
+                            const CancelToken *cancel = nullptr);
 
     /**
      * Process-wide count of System::run invocations made through the
@@ -273,6 +300,7 @@ class ExperimentEngine
     ProgressFn progress_;
     std::vector<ResultSink *> sinks_;
     JobCache *cache_ = nullptr;
+    const CancelToken *cancel_ = nullptr;
 };
 
 } // namespace sac

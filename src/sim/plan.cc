@@ -176,7 +176,12 @@ canonicalJobKey(const ExperimentJob &job)
 std::uint64_t
 contentHash(const ExperimentJob &job)
 {
-    const std::string key = canonicalJobKey(job);
+    return contentHashOfKey(canonicalJobKey(job));
+}
+
+std::uint64_t
+contentHashOfKey(const std::string &key)
+{
     return fnv1a(fnvOffset, key.data(), key.size());
 }
 

@@ -104,6 +104,14 @@ std::string canonicalJobKey(const ExperimentJob &job);
 std::uint64_t contentHash(const ExperimentJob &job);
 
 /**
+ * The same FNV-1a 64 over an already-serialized canonical key.
+ * contentHash(job) == contentHashOfKey(canonicalJobKey(job)) by
+ * construction; cache integrity scans use this to re-derive an
+ * entry's expected filename from the key it stores.
+ */
+std::uint64_t contentHashOfKey(const std::string &key);
+
+/**
  * Bounded retry for TransientError failures. Retries happen inline
  * on the worker that ran the failing attempt, so scheduling stays
  * deterministic; backoff doubles per retry and burns wall-clock

@@ -253,6 +253,8 @@ System::System(const GpuConfig &cfg, OrgKind kind, TraceSource &trace)
     services_.add(RunPhase::Watchdog, *livelockDog_);
     services_.add(RunPhase::Watchdog, *cycleDog_);
     services_.add(RunPhase::Watchdog, *wallDog_);
+    cancelDog_ = std::make_unique<CancelWatchdog>(cancel_);
+    services_.add(RunPhase::Watchdog, *cancelDog_);
 }
 
 System::~System() = default;

@@ -154,6 +154,17 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     const RunLimits &runLimits() const { return limits_; }
 
     /**
+     * Attaches a cooperative cancellation token (non-owning, may be
+     * nullptr); call before run(). The run loop observes it at the
+     * watchdog poll points (sim/watchdog.hh, CancelWatchdog) and
+     * aborts with SimTimeoutError once it reads cancelled — the same
+     * path a wall-clock deadline takes, so the ExperimentEngine
+     * classifies the job as timed_out.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+    const CancelToken *cancelToken() const { return cancel_; }
+
+    /**
      * Arms a deterministic fault: @p fn is called from the run loop
      * the first time the clock reaches @p at (exact under
      * fast-forward). The fault-injection harness uses this to throw
@@ -361,6 +372,7 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
 
     // Watchdog limits (see RunLimits) and the fault-injection hook.
     RunLimits limits_;
+    const CancelToken *cancel_ = nullptr;
     Cycle faultAt_ = cycleNever;
     std::function<void(System &)> faultFn_;
 
@@ -383,6 +395,7 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     std::unique_ptr<LivelockWatchdog> livelockDog_;
     std::unique_ptr<CycleDeadlineWatchdog> cycleDog_;
     std::unique_ptr<WallClockWatchdog> wallDog_;
+    std::unique_ptr<CancelWatchdog> cancelDog_;
 
     RunResult result;
 };

@@ -73,4 +73,20 @@ WallClockWatchdog::poll(const TickInfo &tick)
     }
 }
 
+void
+CancelWatchdog::poll(const TickInfo &tick)
+{
+    if (!token_)
+        return;
+    // Same staleness bound as the wall-clock watchdog: strided on the
+    // dense path, always checked on an iteration that landed after a
+    // fast-forward jump.
+    if (!tick.fastForwarded && ++checks_ % checkInterval != 0)
+        return;
+    if (!token_->cancelled())
+        return;
+    throw SimTimeoutError(log_detail::concat(
+        "run cancelled in kernel ", tick.kernel, ": ", token_->reason()));
+}
+
 } // namespace sac

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "sim/cancel.hh"
 #include "sim/run_service.hh"
 
 namespace sac {
@@ -167,6 +168,38 @@ class WallClockWatchdog final : public RunService
     const RunLimits &limits_;
     DigestFn digest_;
     std::chrono::steady_clock::time_point start_{};
+    std::uint64_t checks_ = 0;
+};
+
+/**
+ * Cooperative cancellation at the watchdog poll points: observes a
+ * CancelToken (sim/cancel.hh) with the same striding discipline as
+ * the wall-clock watchdog and aborts the run with SimTimeoutError —
+ * so a cancelled job finishes as a timed_out record through exactly
+ * the machinery a deadline would have used. Wall-clock by nature
+ * (who cancels and when is host timing), so it contributes no wake
+ * deadline; records delivered before the cancellation stay
+ * byte-identical to an uncancelled run.
+ */
+class CancelWatchdog final : public RunService
+{
+  public:
+    /** Dense-path stride between token checks. */
+    static constexpr std::uint64_t checkInterval = 1024;
+
+    /** @p token is a reference to the owner's pointer slot, so the
+     *  token can be (re)attached after construction. */
+    explicit CancelWatchdog(const CancelToken *const &token)
+        : token_(token)
+    {
+    }
+
+    const char *name() const override { return "cancel"; }
+    Cycle nextDue(Cycle) const override { return cycleNever; }
+    void poll(const TickInfo &tick) override;
+
+  private:
+    const CancelToken *const &token_;
     std::uint64_t checks_ = 0;
 };
 

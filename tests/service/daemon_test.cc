@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Service-layer robustness tests for the sacsimd daemon: the
+ * malformed-request fuzz corpus (bounded line framing included),
+ * request deadlines and the daemon-side wall cap, plan-queue
+ * admission, concurrent socket sessions with byte-identical streams,
+ * graceful drain via requestShutdown, and disconnect cancellation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "service/daemon.hh"
+#include "service/protocol.hh"
+#include "sim/engine.hh"
+#include "workload/suite.hh"
+
+namespace sac {
+namespace {
+
+using service::Daemon;
+using service::DaemonOptions;
+using service::ResultCache;
+
+/** Self-deleting temp directory, one per test. */
+struct TempDir
+{
+    explicit TempDir(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    const std::string path;
+};
+
+/** A one-job request: tiny RN on SAC, tagged with @p id. */
+std::string
+tinyRequest(const std::string &id, const std::string &extra = "")
+{
+    return "{\"schema\":\"sac.sweep.v1\",\"id\":\"" + id + "\"," +
+           extra +
+           "\"plan\":[{\"benchmark\":\"RN\",\"org\":\"sac\","
+           "\"scale\":8,\"apw\":64}]}";
+}
+
+/** A deliberately slow request: the full org sweep with a large
+ *  access count, optionally under a deadline. */
+std::string
+slowRequest(const std::string &id, std::uint64_t deadlineMs = 0)
+{
+    std::string extra;
+    if (deadlineMs > 0)
+        extra = "\"deadline_ms\":" + std::to_string(deadlineMs) + ",";
+    return "{\"schema\":\"sac.sweep.v1\",\"id\":\"" + id + "\"," +
+           extra +
+           "\"plan\":[{\"benchmark\":\"RN\",\"org\":\"all\","
+           "\"scale\":8,\"apw\":4194304}]}";
+}
+
+std::vector<std::string>
+linesOf(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::vector<std::string>
+serve(Daemon &daemon, const std::string &input)
+{
+    std::istringstream in(input);
+    std::ostringstream out;
+    daemon.serveStream(in, out);
+    return linesOf(out.str());
+}
+
+/** Connects to @p path, retrying while the daemon is still binding. */
+int
+connectTo(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            break;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            return fd;
+        }
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return -1;
+}
+
+std::string
+readToEof(int fd)
+{
+    std::string data;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        data.append(chunk, static_cast<std::size_t>(n));
+    }
+    return data;
+}
+
+/** One full client session: send @p request, half-close, drain. */
+std::vector<std::string>
+requestOverSocket(const std::string &path, const std::string &request)
+{
+    const int fd = connectTo(path);
+    EXPECT_GE(fd, 0);
+    if (fd < 0)
+        return {};
+    const std::string wire = request + "\n";
+    EXPECT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+    ::shutdown(fd, SHUT_WR);
+    const std::string data = readToEof(fd);
+    ::close(fd);
+    return linesOf(data);
+}
+
+TEST(SacsimdFuzz, MalformedCorpusGetsOneCleanErrorEach)
+{
+    // Every line is hostile in a different way; none may crash the
+    // session, hang it, or produce anything but a single error event
+    // with retryable:false — and the session must keep serving.
+    const std::vector<std::string> corpus = {
+        "this is not json",
+        "{",                                       // truncated object
+        "[]",                                      // wrong root type
+        "{\"schema\":\"sac.sweep.v2\",\"plan\":[{}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":5}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":5}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":\"RN\","
+        "\"seed\":-1}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":\"RN\","
+        "\"scale\":0}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":\"RN\","
+        "\"scale\":999999999999999999999999999999}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":\"RN\","
+        "\"sectors\":3}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":\"RN\","
+        "\"inputScale\":1e999}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":\"RN\","
+        "\"interChipBw\":-5.0}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{\"benchmark\":\"RN\","
+        "\"apw\":99999999999999999999}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"deadline_ms\":0,\"plan\":[{"
+        "\"benchmark\":\"RN\"}]}",
+        "{\"schema\":\"sac.sweep.v1\",\"deadline_ms\":-7,\"plan\":[{"
+        "\"benchmark\":\"RN\"}]}",
+        std::string(200, '[') + std::string(200, ']'), // depth bomb
+        std::string("\x01\x02\x7f", 3),                // control bytes
+    };
+
+    Daemon daemon(DaemonOptions{.jobs = 1});
+    std::string input;
+    for (const auto &line : corpus)
+        input += line + "\n";
+    input += tinyRequest("survivor") + "\n";
+
+    const auto lines = serve(daemon, input);
+    ASSERT_EQ(lines.size(), corpus.size() + 2u); // errors + record + done
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const json::Value v = json::parse(lines[i]);
+        EXPECT_EQ(v.at("event").asString(), "error") << lines[i];
+        EXPECT_EQ(v.at("retryable").type, json::Value::Type::Bool)
+            << lines[i];
+        EXPECT_FALSE(v.at("retryable").boolean) << lines[i];
+    }
+    EXPECT_EQ(json::parse(lines[corpus.size()]).at("event").asString(),
+              "record");
+    EXPECT_EQ(
+        json::parse(lines[corpus.size() + 1]).at("event").asString(),
+        "done");
+}
+
+TEST(SacsimdFuzz, OversizedLineIsBoundedAndReported)
+{
+    // A 64 KiB line against a 256-byte limit: the framer must not
+    // buffer it, must answer with one error naming the limit, and
+    // the session must keep serving.
+    DaemonOptions options;
+    options.jobs = 1;
+    options.maxLineBytes = 256;
+    Daemon daemon(options);
+
+    const auto lines =
+        serve(daemon, std::string(64 * 1024, 'x') + "\n" +
+                          tinyRequest("after") + "\n");
+    ASSERT_EQ(lines.size(), 3u);
+    const json::Value err = json::parse(lines[0]);
+    EXPECT_EQ(err.at("event").asString(), "error");
+    EXPECT_NE(err.at("message").asString().find("line-length limit"),
+              std::string::npos);
+    EXPECT_EQ(json::parse(lines[1]).at("event").asString(), "record");
+    EXPECT_EQ(json::parse(lines[2]).at("event").asString(), "done");
+}
+
+TEST(SacsimdDeadline, DeadlineMsTurnsUnfinishedJobsIntoTimedOut)
+{
+    Daemon daemon(DaemonOptions{.jobs = 1});
+    const auto lines = serve(daemon, slowRequest("d1", 1) + "\n");
+    ASSERT_EQ(lines.size(), 6u); // 5 records + done
+    for (std::size_t i = 0; i < 5; ++i) {
+        const json::Value v = json::parse(lines[i]);
+        EXPECT_EQ(v.at("event").asString(), "record");
+        EXPECT_EQ(v.at("record").at("result").at("status").asString(),
+                  "timed_out");
+    }
+    const json::Value done = json::parse(lines[5]);
+    EXPECT_EQ(done.at("event").asString(), "done");
+    EXPECT_EQ(done.at("jobs").asU64(), 5u);
+
+    // The session survives an expired plan.
+    const auto after = serve(daemon, tinyRequest("after") + "\n");
+    ASSERT_EQ(after.size(), 2u);
+    EXPECT_EQ(json::parse(after[1]).at("event").asString(), "done");
+}
+
+TEST(SacsimdDeadline, MaxPlanWallMsCapsPlansWithNoClientDeadline)
+{
+    DaemonOptions options;
+    options.jobs = 1;
+    options.maxPlanWallMs = 1;
+    Daemon daemon(options);
+    const auto lines = serve(daemon, slowRequest("cap") + "\n");
+    ASSERT_EQ(lines.size(), 6u);
+    EXPECT_EQ(json::parse(lines[0])
+                  .at("record")
+                  .at("result")
+                  .at("status")
+                  .asString(),
+              "timed_out");
+    EXPECT_EQ(json::parse(lines[5]).at("event").asString(), "done");
+}
+
+TEST(SacsimdDeadline, CancelledPlansAreNeverCached)
+{
+    TempDir dir("sacsimd_deadline_cache");
+    DaemonOptions options;
+    options.cacheDir = dir.path + "/cache";
+    options.jobs = 1;
+    Daemon daemon(options);
+
+    serve(daemon, slowRequest("poison", 1) + "\n");
+    EXPECT_EQ(daemon.cache()->verify().entries, 0u);
+
+    // The same plan without the deadline simulates from scratch —
+    // nothing poisoned the cache with a timed_out record.
+    const auto clean = serve(daemon, tinyRequest("clean") + "\n");
+    const json::Value done = json::parse(clean.back());
+    EXPECT_EQ(done.at("cacheHits").asU64(), 0u);
+    EXPECT_EQ(done.at("simulated").asU64(), 1u);
+}
+
+TEST(SacsimdAdmission, QueueOverflowIsRefusedWithRetryableError)
+{
+    DaemonOptions options;
+    options.jobs = 1;
+    options.planQueue = 0; // no waiting room: admit one, refuse next
+    Daemon daemon(options);
+
+    // A runs a deadlined slow plan (holds the gate ~1.5 s); B submits
+    // while A is in flight and must be refused immediately.
+    std::atomic<bool> a_started{false};
+    std::vector<std::string> a_lines, b_lines;
+    std::thread a([&] {
+        a_started.store(true);
+        daemon.handleRequest(slowRequest("A", 1500),
+                             [&](const std::string &line) {
+                                 a_lines.push_back(line);
+                             });
+    });
+    while (!a_started.load())
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    daemon.handleRequest(tinyRequest("B"), [&](const std::string &line) {
+        b_lines.push_back(line);
+    });
+    a.join();
+
+    ASSERT_EQ(b_lines.size(), 1u);
+    const json::Value refusal = json::parse(b_lines[0]);
+    EXPECT_EQ(refusal.at("event").asString(), "error");
+    EXPECT_TRUE(refusal.at("retryable").boolean);
+    EXPECT_NE(refusal.at("message").asString().find("queue"),
+              std::string::npos);
+    // A still completed its protocol: 5 records + done.
+    EXPECT_EQ(a_lines.size(), 6u);
+}
+
+TEST(SacsimdSocket, ConcurrentSessionsStreamByteIdenticalRecords)
+{
+    TempDir dir("sacsimd_concurrent");
+    DaemonOptions options;
+    options.socketPath = dir.path + "/d.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.jobs = 2;
+    options.connections = 4;
+    Daemon daemon(options);
+    std::thread server([&] { EXPECT_EQ(daemon.serve(), 0); });
+
+    // Reference stream: the same request served serially by an
+    // independent daemon with its own fresh cache.
+    const std::string request = tinyRequest("same-id");
+    DaemonOptions ref_options;
+    ref_options.cacheDir = dir.path + "/refcache";
+    ref_options.jobs = 1;
+    Daemon reference(ref_options);
+    const auto ref_lines = serve(reference, request + "\n");
+    ASSERT_EQ(ref_lines.size(), 2u);
+
+    // Four clients submit the identical plan simultaneously.
+    std::vector<std::vector<std::string>> streams(4);
+    std::vector<std::thread> clients;
+    for (auto &stream : streams) {
+        clients.emplace_back([&] {
+            stream = requestOverSocket(options.socketPath, request);
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+
+    // Every client's record line is byte-identical to the serial
+    // reference — same id, same canonical record bytes — no matter
+    // how the four sessions interleaved.
+    std::size_t simulated = 0, cache_hits = 0;
+    for (const auto &stream : streams) {
+        ASSERT_EQ(stream.size(), 2u);
+        EXPECT_EQ(stream[0], ref_lines[0]);
+        const json::Value done = json::parse(stream[1]);
+        EXPECT_EQ(done.at("event").asString(), "done");
+        simulated += done.at("simulated").asU64();
+        cache_hits += done.at("cacheHits").asU64();
+    }
+    // Plans serialize through the gate, so exactly one client
+    // simulated the job and the other three hit the shared cache.
+    EXPECT_EQ(simulated, 1u);
+    EXPECT_EQ(cache_hits, 3u);
+
+    daemon.requestShutdown();
+    server.join();
+    EXPECT_FALSE(std::filesystem::exists(options.socketPath));
+    EXPECT_EQ(daemon.cache()->verify().rejected, 0u);
+
+    // Resubmission after the daemon restarts: zero System runs.
+    const std::uint64_t runs = ExperimentEngine::simulatedSystemRuns();
+    DaemonOptions warm_options;
+    warm_options.cacheDir = options.cacheDir;
+    warm_options.jobs = 1;
+    Daemon warm(warm_options);
+    const auto warm_lines = serve(warm, request + "\n");
+    EXPECT_EQ(ExperimentEngine::simulatedSystemRuns(), runs);
+    EXPECT_EQ(warm_lines[0], ref_lines[0]);
+}
+
+TEST(SacsimdSocket, SessionLimitRefusesExtraConnectionsRetryably)
+{
+    TempDir dir("sacsimd_session_limit");
+    DaemonOptions options;
+    options.socketPath = dir.path + "/d.sock";
+    options.jobs = 1;
+    options.connections = 1;
+    Daemon daemon(options);
+    std::thread server([&] { EXPECT_EQ(daemon.serve(), 0); });
+
+    // First client occupies the one session slot without sending.
+    const int holder = connectTo(options.socketPath);
+    ASSERT_GE(holder, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    // Second client is refused with a single retryable error event.
+    const int refused = connectTo(options.socketPath);
+    ASSERT_GE(refused, 0);
+    const auto lines = linesOf(readToEof(refused));
+    ::close(refused);
+    ASSERT_EQ(lines.size(), 1u);
+    const json::Value err = json::parse(lines[0]);
+    EXPECT_EQ(err.at("event").asString(), "error");
+    EXPECT_TRUE(err.at("retryable").boolean);
+
+    ::close(holder);
+    daemon.requestShutdown();
+    server.join();
+}
+
+TEST(SacsimdSocket, DisconnectedClientsPlanIsCancelled)
+{
+    TempDir dir("sacsimd_disconnect");
+    DaemonOptions options;
+    options.socketPath = dir.path + "/d.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.jobs = 1;
+    Daemon daemon(options);
+    std::thread server([&] { EXPECT_EQ(daemon.serve(), 0); });
+
+    // Submit a 5-job plan and vanish immediately. The first record
+    // write hits the dead socket, cancelling the session's token:
+    // the remaining four jobs are never simulated (and never
+    // cached) instead of burning minutes for nobody.
+    const int fd = connectTo(options.socketPath);
+    ASSERT_GE(fd, 0);
+    const std::string wire =
+        "{\"schema\":\"sac.sweep.v1\",\"id\":\"gone\",\"plan\":[{"
+        "\"benchmark\":\"RN\",\"org\":\"all\",\"scale\":8,"
+        "\"apw\":8192}]}\n";
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+    ::close(fd);
+
+    // Drain waits for the in-flight plan; if cancellation works the
+    // plan collapses after its first completed job instead of
+    // running all five — so at most one entry reaches the cache (the
+    // drain deadline may cancel even job 0 on a slow/sanitized
+    // machine, which is also fine; five entries would mean the
+    // disconnect went unnoticed).
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    daemon.requestShutdown();
+    server.join();
+    EXPECT_LE(daemon.cache()->verify().entries, 1u);
+}
+
+TEST(SacsimdSocket, ShutdownWithNoSessionsExitsPromptly)
+{
+    TempDir dir("sacsimd_idle_shutdown");
+    DaemonOptions options;
+    options.socketPath = dir.path + "/d.sock";
+    Daemon daemon(options);
+    std::thread server([&] { EXPECT_EQ(daemon.serve(), 0); });
+    while (!std::filesystem::exists(options.socketPath))
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    daemon.requestShutdown();
+    server.join();
+    EXPECT_TRUE(daemon.draining());
+    EXPECT_FALSE(std::filesystem::exists(options.socketPath));
+}
+
+} // namespace
+} // namespace sac

@@ -9,6 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -347,6 +355,210 @@ TEST(ResultCache, UnwritableDirectoryThrows)
 {
     EXPECT_THROW(ResultCache("/proc/definitely/not/writable"),
                  ValidationError);
+}
+
+/** Stamps every entry of @p plan with a known age: job i's entry is
+ *  (plan.size() - i) minutes old, so job 0 is the oldest. */
+void
+stampAges(ResultCache &cache, const ExperimentPlan &plan)
+{
+    namespace fs = std::filesystem;
+    const auto now = fs::file_time_type::clock::now();
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        fs::last_write_time(
+            cache.entryPath(plan[i]),
+            now - std::chrono::minutes(plan.size() - i));
+}
+
+TEST(ResultCachePrune, EvictsOldestEntriesFirstUnderAnEntryBudget)
+{
+    TempDir dir("sac_cache_prune_lru");
+    ResultCache cache(dir.path);
+    const ExperimentPlan plan = fullPlan(); // 10 jobs, 10 entries
+    runWithCache(plan, cache);
+    stampAges(cache, plan);
+
+    const auto report =
+        cache.prune(ResultCache::Budget{.maxEntries = 3});
+    EXPECT_TRUE(report.ran);
+    EXPECT_EQ(report.scannedEntries, plan.size());
+    EXPECT_EQ(report.removedEntries, plan.size() - 3);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(std::filesystem::exists(cache.entryPath(plan[i])),
+                  i >= plan.size() - 3)
+            << "job " << i;
+    }
+    // Survivors are intact entries, never partially pruned ones.
+    EXPECT_EQ(cache.verify().rejected, 0u);
+}
+
+TEST(ResultCachePrune, EnforcesTheByteBudgetTolerantly)
+{
+    TempDir dir("sac_cache_prune_bytes");
+    ResultCache cache(dir.path);
+    runWithCache(fullPlan(), cache);
+
+    const auto before = cache.verify();
+    ASSERT_GT(before.bytes, 0u);
+    const std::uint64_t budget = before.bytes / 2;
+    const auto report =
+        cache.prune(ResultCache::Budget{.maxBytes = budget});
+    EXPECT_TRUE(report.ran);
+    EXPECT_GT(report.removedEntries, 0u);
+    const auto after = cache.verify();
+    EXPECT_LE(after.bytes, budget);
+    EXPECT_EQ(after.rejected, 0u);
+    EXPECT_EQ(after.bytes, before.bytes - report.removedBytes);
+}
+
+TEST(ResultCachePrune, LookupRefreshesAnEntrysAgeAgainstEviction)
+{
+    TempDir dir("sac_cache_prune_touch");
+    ResultCache cache(dir.path);
+    ExperimentPlan plan;
+    plan.addOrgSweep(tinyProfile("RN"), tinyConfig());
+    runWithCache(plan, cache);
+    stampAges(cache, plan); // job 0 is the oldest on disk...
+
+    // ...but a hit rejuvenates it, so the LRU pass evicts the others.
+    ASSERT_TRUE(cache.lookup(plan[0]).has_value());
+    const auto report =
+        cache.prune(ResultCache::Budget{.maxEntries = 1});
+    EXPECT_TRUE(report.ran);
+    EXPECT_TRUE(std::filesystem::exists(cache.entryPath(plan[0])));
+    EXPECT_EQ(cache.verify().entries, 1u);
+}
+
+TEST(ResultCachePrune, SkipsWhenAnotherProcessHoldsThePruneLock)
+{
+    TempDir dir("sac_cache_prune_locked");
+    ResultCache cache(dir.path);
+    ExperimentPlan plan;
+    plan.add(tinyProfile("RN"), tinyConfig(), OrgKind::Sac);
+    runWithCache(plan, cache);
+
+    // Simulate a concurrent pruner: hold the advisory lock on our
+    // own file description (flock contends across descriptions, so
+    // this conflicts with the cache's lock just as a second process
+    // would).
+    const int fd =
+        ::open(cache.pruneLockPath().c_str(), O_CREAT | O_RDWR, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::flock(fd, LOCK_EX), 0);
+
+    const ResultCache::Budget budget{.maxEntries = 1};
+    EXPECT_FALSE(cache.prune(budget).ran); // skipped, not waited for
+    EXPECT_TRUE(std::filesystem::exists(cache.entryPath(plan[0])));
+
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+    EXPECT_TRUE(cache.prune(budget).ran);
+}
+
+TEST(ResultCachePrune, SweepsAbandonedTemporariesButNotFreshOnes)
+{
+    TempDir dir("sac_cache_prune_tmps");
+    ResultCache cache(dir.path);
+    ExperimentPlan plan;
+    plan.add(tinyProfile("RN"), tinyConfig(), OrgKind::Sac);
+    runWithCache(plan, cache);
+
+    // An hour-old temporary is a crashed writer's litter; a fresh one
+    // may be a store in flight and must be left alone.
+    namespace fs = std::filesystem;
+    const std::string stale = dir.path + "/dead.json.tmp.1";
+    const std::string fresh = dir.path + "/live.json.tmp.2";
+    std::ofstream(stale) << "{torn";
+    std::ofstream(fresh) << "{torn";
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+
+    const auto report =
+        cache.prune(ResultCache::Budget{.maxEntries = 100});
+    EXPECT_TRUE(report.ran);
+    EXPECT_EQ(report.staleTmps, 1u);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh));
+    // Temporaries are invisible to the integrity scan either way.
+    EXPECT_EQ(cache.verify().entries, 1u);
+    EXPECT_EQ(cache.verify().rejected, 0u);
+}
+
+TEST(ResultCachePrune, ASigkilledPrunerNeverWedgesTheCache)
+{
+    TempDir dir("sac_cache_prune_sigkill");
+    ResultCache cache(dir.path);
+    const ExperimentPlan plan = fullPlan();
+    runWithCache(plan, cache);
+
+    // A child process takes the prune lock and is SIGKILLed while
+    // "mid-prune". flock() is released by the kernel on process
+    // death, so the parent's next pass must acquire it — no stale
+    // lockfile ever wedges pruning.
+    int ready[2];
+    ASSERT_EQ(::pipe(ready), 0);
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        const int fd = ::open(cache.pruneLockPath().c_str(),
+                              O_CREAT | O_RDWR, 0644);
+        if (fd < 0 || ::flock(fd, LOCK_EX) != 0)
+            ::_exit(1);
+        char byte = 'k';
+        if (::write(ready[1], &byte, 1) != 1)
+            ::_exit(1);
+        for (;;)
+            ::pause();
+    }
+    char byte = 0;
+    ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+    ::close(ready[0]);
+    ::close(ready[1]);
+
+    const ResultCache::Budget budget{.maxEntries = 2};
+    EXPECT_FALSE(cache.prune(budget).ran); // the "pruner" holds it
+
+    ASSERT_EQ(::kill(child, SIGKILL), 0);
+    ASSERT_EQ(::waitpid(child, nullptr, 0), child);
+
+    const auto report = cache.prune(budget);
+    EXPECT_TRUE(report.ran);
+    const auto after = cache.verify();
+    EXPECT_LE(after.entries, 2u);
+    EXPECT_EQ(after.rejected, 0u);
+}
+
+TEST(ResultCachePrune, ToleratesConcurrentStoresWithoutTornSurvivors)
+{
+    TempDir dir("sac_cache_prune_racing");
+    ResultCache cache(dir.path);
+    const ExperimentPlan plan = fullPlan();
+    const auto records = ExperimentEngine(2).run(plan);
+
+    // Four writers hammer stores of all ten entries while the main
+    // thread prunes to a 4-entry budget over and over. Every survivor
+    // must be a complete entry; the final pass lands under budget.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+        writers.emplace_back([&] {
+            while (!stop.load()) {
+                for (std::size_t i = 0; i < plan.size(); ++i)
+                    cache.store(plan[i], records[i]);
+            }
+        });
+    }
+    const ResultCache::Budget budget{.maxEntries = 4};
+    for (int pass = 0; pass < 25; ++pass)
+        EXPECT_TRUE(cache.prune(budget).ran);
+    stop.store(true);
+    for (auto &w : writers)
+        w.join();
+
+    EXPECT_EQ(cache.verify().rejected, 0u);
+    EXPECT_TRUE(cache.prune(budget).ran);
+    EXPECT_LE(cache.verify().entries, 4u);
+    EXPECT_EQ(cache.verify().rejected, 0u);
 }
 
 } // namespace

@@ -150,7 +150,8 @@ TEST(SystemSchedule, SacSystemRegistersWindowAndWatchdogs)
     const auto names = system.runServices().names();
     const std::vector<std::string> expected{
         "fault-hook",        "sac-window",     "occupancy-sampler",
-        "livelock-watchdog", "cycle-deadline", "wall-clock"};
+        "livelock-watchdog", "cycle-deadline", "wall-clock",
+        "cancel"};
     ASSERT_EQ(names.size(), expected.size());
     for (std::size_t i = 0; i < expected.size(); ++i)
         EXPECT_EQ(names[i], expected[i]) << "slot " << i;
@@ -184,7 +185,7 @@ TEST(SystemSchedule, DynamicSystemRegistersTheEpochService)
     System system(cfg, OrgKind::DynamicLlc, gen);
 
     const auto names = system.runServices().names();
-    ASSERT_EQ(names.size(), 6u);
+    ASSERT_EQ(names.size(), 7u);
     EXPECT_STREQ(names[1], "dynamic-epoch");
     // No controller, no window service.
     for (const char *n : names)

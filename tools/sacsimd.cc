@@ -3,23 +3,32 @@
  * sacsimd — the SAC experiment daemon.
  *
  * Listens on a local unix socket for sac.sweep.v1 plans (one
- * newline-delimited JSON request per line), runs each plan on the
+ * newline-delimited JSON request per line), serves up to
+ * --connections client sessions at once, runs each plan on the shared
  * fault-isolated ExperimentEngine worker pool, and streams
  * sac.sweep-result.v1 record events back as jobs complete — in plan
  * order, flushed per line. With --cache DIR every completed job is
  * memoized in a persistent content-addressed store, so resubmitting a
  * plan (same session or months later) replays byte-identical results
- * without simulating anything.
+ * without simulating anything; --cache-max-bytes/--cache-max-entries
+ * bound the store with crash-safe LRU pruning.
+ *
+ * Plans may carry a "deadline_ms" budget (and --max-plan-wall-ms caps
+ * every plan daemon-side); expired plans finish as timed_out records.
+ * SIGTERM/SIGINT drain gracefully: in-flight plans get --drain-ms of
+ * grace, then cancel; the daemon exits 0 with the cache intact.
  *
  *   sacsimd --socket /tmp/sacsimd.sock --cache ~/.cache/sacsim --jobs 4
  *   sacsimd --stdio --cache cache.d       # one session over stdio
+ *   sacsimd --cache cache.d --cache-max-entries 1000 --prune-only
  *
  * Try it:
  *
  *   echo '{"schema":"sac.sweep.v1","id":"r1","plan":[{"benchmark":
  *   "CFD","org":"all"}]}' | nc -U /tmp/sacsimd.sock
  *
- * See docs/SERVICE.md for the protocol and cache layout.
+ * See docs/SERVICE.md for the protocol, concurrency model and cache
+ * layout.
  */
 
 #include <cstdlib>
@@ -45,9 +54,69 @@ usage(int code)
         "  --jobs N               worker threads per plan\n"
         "                         (0 = all hardware threads, "
         "default 1)\n"
-        "  --connections N        exit after serving N connections\n"
-        "                         (0 = serve forever, default)\n";
+        "  --connections N        max simultaneous client sessions\n"
+        "                         (0 = unbounded, default 4)\n"
+        "  --max-sessions N       exit after serving N sessions\n"
+        "                         (0 = serve forever, default)\n"
+        "  --plan-queue N         plans allowed to wait behind the\n"
+        "                         running one (default 8); overflow\n"
+        "                         gets a retryable error event\n"
+        "  --max-plan-wall-ms MS  cap every plan's wall clock; jobs\n"
+        "                         past it finish as timed_out (0 =\n"
+        "                         no cap, default)\n"
+        "  --drain-ms MS          grace for in-flight plans on\n"
+        "                         SIGTERM/SIGINT before they are\n"
+        "                         cancelled (default 5000)\n"
+        "  --max-line-bytes N     longest accepted request line\n"
+        "                         (default 1048576)\n"
+        "  --cache-max-bytes N    prune the cache to N bytes after\n"
+        "                         each plan (0 = unbounded, default)\n"
+        "  --cache-max-entries N  prune the cache to N entries after\n"
+        "                         each plan (0 = unbounded, default)\n"
+        "  --prune-only           prune the cache to budget, report,\n"
+        "                         and exit (maintenance mode)\n"
+        "  --verify-cache         integrity-scan the cache and exit\n"
+        "                         nonzero if any entry is rejected\n";
     std::exit(code);
+}
+
+int
+pruneOnly(const service::DaemonOptions &options)
+{
+    if (options.cacheDir.empty()) {
+        std::cerr << "sacsimd: --prune-only needs --cache DIR\n";
+        return 1;
+    }
+    service::ResultCache cache(options.cacheDir);
+    const auto report = cache.prune(options.cacheBudget);
+    if (!report.ran) {
+        std::cout << "prune skipped ("
+                  << (options.cacheBudget.any()
+                          ? "another pruner holds the lock"
+                          : "no budget configured")
+                  << ")\n";
+        return 0;
+    }
+    std::cout << "pruned " << report.removedEntries << " of "
+              << report.scannedEntries << " entries ("
+              << report.removedBytes << " of " << report.scannedBytes
+              << " bytes), swept " << report.staleTmps
+              << " stale temporaries\n";
+    return 0;
+}
+
+int
+verifyCache(const service::DaemonOptions &options)
+{
+    if (options.cacheDir.empty()) {
+        std::cerr << "sacsimd: --verify-cache needs --cache DIR\n";
+        return 1;
+    }
+    service::ResultCache cache(options.cacheDir);
+    const auto report = cache.verify();
+    std::cout << report.entries << " entries, " << report.bytes
+              << " bytes, " << report.rejected << " rejected\n";
+    return report.rejected == 0 ? 0 : 1;
 }
 
 int
@@ -55,6 +124,8 @@ run(int argc, char **argv)
 {
     service::DaemonOptions options;
     bool stdio = false;
+    bool pruneMode = false;
+    bool verifyMode = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&]() -> std::string {
@@ -77,12 +148,37 @@ run(int argc, char **argv)
         else if (arg == "--connections")
             options.connections =
                 static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--max-sessions")
+            options.maxSessions =
+                static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--plan-queue")
+            options.planQueue =
+                static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--max-plan-wall-ms")
+            options.maxPlanWallMs = std::stoull(value());
+        else if (arg == "--drain-ms")
+            options.drainMs = std::stoull(value());
+        else if (arg == "--max-line-bytes")
+            options.maxLineBytes =
+                static_cast<std::size_t>(std::stoull(value()));
+        else if (arg == "--cache-max-bytes")
+            options.cacheBudget.maxBytes = std::stoull(value());
+        else if (arg == "--cache-max-entries")
+            options.cacheBudget.maxEntries = std::stoull(value());
+        else if (arg == "--prune-only")
+            pruneMode = true;
+        else if (arg == "--verify-cache")
+            verifyMode = true;
         else {
             std::cerr << "sacsimd: unknown option '" << arg
                       << "' (try --help)\n";
             return 1;
         }
     }
+    if (pruneMode)
+        return pruneOnly(options);
+    if (verifyMode)
+        return verifyCache(options);
     if (!stdio && options.socketPath.empty()) {
         std::cerr << "sacsimd: need --socket PATH or --stdio "
                      "(try --help)\n";
@@ -94,6 +190,7 @@ run(int argc, char **argv)
         daemon.serveStream(std::cin, std::cout);
         return 0;
     }
+    service::Daemon::installSignalHandlers();
     return daemon.serve();
 }
 
