@@ -1,0 +1,81 @@
+#include "common/suggest.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sac {
+
+namespace {
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+} // namespace
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+
+    // Three rolling rows (transpositions need row i-2).
+    std::vector<std::size_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t sub = a[i - 1] == b[j - 1] ? 0 : 1;
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
+                               prev[j - 1] + sub});
+            if (i > 1 && j > 1 && a[i - 1] == b[j - 2] &&
+                a[i - 2] == b[j - 1]) {
+                cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+            }
+        }
+        std::swap(prev2, prev);
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+std::string
+closestMatch(const std::string &name,
+             const std::vector<std::string> &candidates)
+{
+    const std::string needle = lowered(name);
+    const std::size_t cutoff = std::max<std::size_t>(2, needle.size() / 3);
+    std::size_t best = cutoff + 1;
+    std::string match;
+    for (const auto &c : candidates) {
+        const std::size_t d = editDistance(needle, lowered(c));
+        if (d < best) {
+            best = d;
+            match = c;
+        }
+    }
+    return match;
+}
+
+std::string
+didYouMean(const std::string &name,
+           const std::vector<std::string> &candidates)
+{
+    const std::string match = closestMatch(name, candidates);
+    if (match.empty())
+        return "";
+    return " (did you mean '" + match + "'?)";
+}
+
+} // namespace sac

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Did-you-mean suggestions for user-supplied names.
+ *
+ * CLI flags, protocol fields and scenario files all take names from
+ * closed vocabularies (benchmark names, organization names). A typo
+ * should produce a located, recoverable ValidationError that points
+ * at the nearest valid name instead of a bare "unknown" — the same
+ * convention the trace-file and config readers follow.
+ */
+
+#ifndef SAC_COMMON_SUGGEST_HH
+#define SAC_COMMON_SUGGEST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sac {
+
+/**
+ * Damerau-Levenshtein distance (insert/delete/substitute/transpose,
+ * unit costs). Case-sensitive; callers fold case first when their
+ * vocabulary is case-insensitive.
+ */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidate closest to @p name, or "" when nothing is plausibly
+ * close (distance greater than max(2, |name|/3), compared
+ * case-insensitively). Ties break toward the earlier candidate so
+ * the suggestion is deterministic.
+ */
+std::string closestMatch(const std::string &name,
+                         const std::vector<std::string> &candidates);
+
+/**
+ * Formats a suggestion suffix: " (did you mean 'X'?)" when a close
+ * candidate exists, else "". Append to ValidationError messages.
+ */
+std::string didYouMean(const std::string &name,
+                       const std::vector<std::string> &candidates);
+
+} // namespace sac
+
+#endif // SAC_COMMON_SUGGEST_HH

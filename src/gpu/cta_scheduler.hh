@@ -12,6 +12,7 @@
 #define SAC_GPU_CTA_SCHEDULER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -44,6 +45,17 @@ class CtaScheduler
                          std::uint64_t iteration) const;
 
     std::uint64_t totalCtas() const { return ctas_; }
+
+    /**
+     * Partitions @p clusters SM clusters (per chip) between
+     * co-resident kernel streams in proportion to @p shares, by
+     * largest remainder. Every stream gets at least one cluster;
+     * rounding ties break toward the earlier stream, so the split is
+     * deterministic. Throws ValidationError when there are more
+     * streams than clusters.
+     */
+    static std::vector<Range>
+    partitionClusters(int clusters, const std::vector<double> &shares);
 
   private:
     std::uint64_t ctas_;

@@ -45,6 +45,17 @@ class TraceSource
 
     /** Notifies the source that kernel @p kernel_index is launching. */
     virtual void beginKernel(int kernel_index) { (void)kernel_index; }
+
+    /**
+     * Multi-tenant variant: kernel @p kernel_index of @p stream is
+     * launching. Single-stream sources only track stream 0, which
+     * keeps every pre-scenario TraceSource working unchanged.
+     */
+    virtual void beginStreamKernel(int stream, int kernel_index)
+    {
+        if (stream == 0)
+            beginKernel(kernel_index);
+    }
 };
 
 /** Launch parameters of one kernel invocation. */
@@ -54,6 +65,8 @@ struct KernelDescriptor
     std::string name = "kernel";
     /** Accesses each warp issues before retiring. */
     std::uint64_t accessesPerWarp = 128;
+    /** Kernel stream this invocation belongs to (0 = legacy). */
+    int stream = 0;
 };
 
 } // namespace sac

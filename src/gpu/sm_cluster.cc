@@ -53,6 +53,7 @@ SmCluster::makePacket(const MemAccess &acc, int warp, Cycle now) const
     pkt.srcChip = chip_;
     pkt.srcCluster = id_;
     pkt.warp = warp;
+    pkt.stream = static_cast<std::int16_t>(stream_);
     pkt.bytes = cfg_.requestBytes;
     pkt.issued = now;
     return pkt;

@@ -128,6 +128,10 @@ class SmCluster : public sim::Component
     const ClusterStats &stats() const { return stats_; }
     void resetStats() { stats_ = ClusterStats{}; }
 
+    /** Kernel stream this cluster currently executes (0 = legacy). */
+    void setStream(int stream) { stream_ = stream; }
+    int stream() const { return stream_; }
+
     ChipId chip() const { return chip_; }
     ClusterId id() const { return id_; }
     std::size_t outstanding() const
@@ -171,6 +175,7 @@ class SmCluster : public sim::Component
 
     int outstandingWrites = 0;
     int retiredWarps = 0;
+    int stream_ = 0;
     Cycle pausedUntil = 0;
     std::uint64_t nextPktId;
 

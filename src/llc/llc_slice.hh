@@ -136,6 +136,25 @@ class LlcSlice : public sim::Component
     const SliceStats &stats() const { return stats_; }
     void resetStats() { stats_ = SliceStats{}; }
 
+    /**
+     * Enables per-stream request/hit accounting for @p streams kernel
+     * streams (multi-tenant runs). Off by default — the single-stream
+     * path keeps its exact counter behaviour and cost.
+     */
+    void setStreamCount(int streams)
+    {
+        streamReq_.assign(static_cast<std::size_t>(streams), 0);
+        streamHits_.assign(static_cast<std::size_t>(streams), 0);
+    }
+    std::uint64_t streamRequests(int stream) const
+    {
+        return streamReq_[static_cast<std::size_t>(stream)];
+    }
+    std::uint64_t streamHits(int stream) const
+    {
+        return streamHits_[static_cast<std::size_t>(stream)];
+    }
+
     /** Outstanding misses (drain check for reconfiguration). */
     std::size_t outstanding() const
     {
@@ -191,6 +210,9 @@ class LlcSlice : public sim::Component
     MshrFile homeMshrs;
     SetAssocCache array;
     SliceStats stats_;
+    /** Per-stream accounting; empty unless setStreamCount() enabled it. */
+    std::vector<std::uint64_t> streamReq_;
+    std::vector<std::uint64_t> streamHits_;
 };
 
 } // namespace sac

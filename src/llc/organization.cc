@@ -1,6 +1,7 @@
 #include "llc/organization.hh"
 
 #include "common/log.hh"
+#include "common/suggest.hh"
 
 namespace sac {
 
@@ -30,7 +31,8 @@ orgKindFromName(const std::string &name)
         return OrgKind::DynamicLlc;
     if (name == "sac")
         return OrgKind::Sac;
-    invalid(name, "unknown organization (want mem|sm|static|dynamic|sac)");
+    invalid(name, "unknown organization (want mem|sm|static|dynamic|sac)",
+            didYouMean(name, {"mem", "sm", "static", "dynamic", "sac"}));
 }
 
 std::unique_ptr<Organization>

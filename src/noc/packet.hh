@@ -59,6 +59,8 @@ struct Packet
     ChipId srcChip = invalidChip;
     ClusterId srcCluster = -1;
     int warp = -1;
+    /** Kernel stream of the requesting cluster (0 = legacy). */
+    std::int16_t stream = 0;
 
     /** Chip owning the page (first-touch home). */
     ChipId homeChip = invalidChip;

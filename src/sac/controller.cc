@@ -23,18 +23,27 @@ Controller::beginKernel(int kernel_index, Cycle now)
 }
 
 SacDecision
+decideWindow(const eab::ArchParams &arch, const SacParams &params,
+             const Profiler &prof, double measured_mem_hit_rate, int kernel)
+{
+    SacDecision d;
+    d.kernel = kernel;
+    d.inputs = prof.workloadParams(measured_mem_hit_rate);
+    d.eab = eab::evaluate(arch, d.inputs);
+    d.chosen = d.eab.preferSmSide(params.theta) ? LlcMode::SmSide
+                                                : LlcMode::MemorySide;
+    return d;
+}
+
+SacDecision
 Controller::endWindow(double measured_mem_hit_rate, Cycle now)
 {
     SAC_ASSERT(profilingActive, "endWindow outside a profiling window");
     (void)now;
     profilingActive = false;
 
-    SacDecision d;
-    d.kernel = kernelIndex;
-    d.inputs = prof.workloadParams(measured_mem_hit_rate);
-    d.eab = eab::evaluate(arch, d.inputs);
-    d.chosen = d.eab.preferSmSide(params_.theta) ? LlcMode::SmSide
-                                                 : LlcMode::MemorySide;
+    const SacDecision d =
+        decideWindow(arch, params_, prof, measured_mem_hit_rate, kernelIndex);
     org_.setMode(d.chosen);
     decisions.push_back(d);
     return d;

@@ -31,6 +31,17 @@ struct SacDecision
     eab::WorkloadParams inputs;
 };
 
+/**
+ * The pure decision step of a closed profiling window: feed the
+ * profiler's counters and the measured memory-side hit rate to the
+ * EAB model and pick the winning mode. Shared by the single-kernel
+ * Controller and the per-tenant windows of a multi-stream run, so
+ * both apply exactly the same policy.
+ */
+SacDecision decideWindow(const eab::ArchParams &arch,
+                         const SacParams &params, const Profiler &prof,
+                         double measured_mem_hit_rate, int kernel);
+
 /** Drives a SacOrg through profile/decide/revert per kernel. */
 class Controller
 {

@@ -1,0 +1,164 @@
+#include "sac/tenant.hh"
+
+#include "common/log.hh"
+
+namespace sac {
+
+TenantSacService::TenantSacService(const GpuConfig &cfg, SacOrg &org,
+                                   TenantHost &host, int streams)
+    : params_(cfg.sac),
+      arch_(eab::ArchParams::fromConfig(cfg)),
+      org_(org),
+      host_(host)
+{
+    SAC_ASSERT(streams > 1, "tenant service needs co-resident streams");
+    tenants_.reserve(static_cast<std::size_t>(streams));
+    for (int s = 0; s < streams; ++s)
+        tenants_.emplace_back(cfg);
+}
+
+void
+TenantSacService::beginStreamKernel(int stream, int kernel, Cycle now)
+{
+    tenants_[static_cast<std::size_t>(stream)].kernel = kernel;
+    open(stream, now);
+}
+
+void
+TenantSacService::endStreamKernel(int stream, Cycle now)
+{
+    (void)now;
+    Tenant &t = tenants_[static_cast<std::size_t>(stream)];
+    t.open = false;
+    t.hasVerdict = false;
+    t.windowRequests = 0;
+    // The departing tenant's verdict no longer weighs in; the
+    // remaining tenants' winner (or the memory-side default) applies.
+    arbitrate();
+}
+
+void
+TenantSacService::onL1Miss(int stream, ChipId src, ChipId home, int slice,
+                           Addr line_addr, unsigned sector)
+{
+    Tenant &t = tenants_[static_cast<std::size_t>(stream)];
+    if (t.open)
+        t.prof.onL1Miss(src, home, slice, line_addr, sector);
+}
+
+void
+TenantSacService::open(int stream, Cycle now)
+{
+    Tenant &t = tenants_[static_cast<std::size_t>(stream)];
+    if (org_.mode() == LlcMode::SmSide) {
+        // Contended case: profiling assumes the memory-side
+        // configuration, so revert first — even when SM-side was
+        // another tenant's verdict (arbitration re-applies it after
+        // this window closes).
+        host_.modeChangeFlush("re-profile");
+        org_.setMode(LlcMode::MemorySide);
+    }
+    t.prof.reset();
+    const auto [req, hits] = host_.streamLlcTotals(stream);
+    t.reqSnapshot = req;
+    t.hitSnapshot = hits;
+    t.open = true;
+    t.midTaken = false;
+    t.mid = now + params_.profileWindow / 2;
+    t.windowEnd = now + params_.profileWindow;
+}
+
+void
+TenantSacService::close(int stream, Cycle now)
+{
+    (void)now;
+    Tenant &t = tenants_[static_cast<std::size_t>(stream)];
+    t.open = false;
+    const auto [req, hits] = host_.streamLlcTotals(stream);
+    const auto dreq = req - t.reqSnapshot;
+    const auto dhits = hits - t.hitSnapshot;
+    const double hit_rate =
+        dreq ? static_cast<double>(dhits) / static_cast<double>(dreq) : 0.0;
+    const SacDecision d =
+        decideWindow(arch_, params_, t.prof, hit_rate, t.kernel);
+    host_.tenantWindowClosed(stream, d, hit_rate);
+    t.want = d.chosen;
+    t.hasVerdict = true;
+    t.windowRequests = dreq;
+    arbitrate();
+}
+
+void
+TenantSacService::arbitrate()
+{
+    // The bandwidth-major tenant — largest windowed LLC request count
+    // — wins. An exact tie between disagreeing verdicts (or no live
+    // verdict at all) falls back to memory-side, the paper's default.
+    std::uint64_t best = 0;
+    for (const auto &t : tenants_) {
+        if (t.hasVerdict && t.windowRequests > best)
+            best = t.windowRequests;
+    }
+    LlcMode want = LlcMode::MemorySide;
+    bool first = true;
+    bool conflict = false;
+    for (const auto &t : tenants_) {
+        if (!t.hasVerdict || t.windowRequests != best)
+            continue;
+        if (first) {
+            want = t.want;
+            first = false;
+        } else if (t.want != want) {
+            conflict = true;
+        }
+    }
+    if (first || conflict)
+        want = LlcMode::MemorySide;
+
+    if (want == org_.mode())
+        return;
+    org_.setMode(want);
+    host_.reconfigured(want);
+    host_.modeChangeFlush("reconfigure");
+}
+
+Cycle
+TenantSacService::nextDue(Cycle) const
+{
+    Cycle due = cycleNever;
+    for (const auto &t : tenants_) {
+        if (!t.open)
+            continue;
+        const Cycle next = t.midTaken ? t.windowEnd : t.mid;
+        if (next < due)
+            due = next;
+    }
+    return due;
+}
+
+void
+TenantSacService::poll(const TickInfo &tick)
+{
+    for (std::size_t s = 0; s < tenants_.size(); ++s) {
+        Tenant &t = tenants_[s];
+        if (t.open && !t.midTaken &&
+            (tick.now >= t.mid ||
+             t.prof.totalRequests() >= params_.profileMinRequests / 2)) {
+            // Restart the hit-rate measurement past the cold-start
+            // transient, exactly like the single-kernel window.
+            const auto [req, hits] = host_.streamLlcTotals(
+                static_cast<int>(s));
+            t.reqSnapshot = req;
+            t.hitSnapshot = hits;
+            t.prof.restartMeasurement();
+            t.midTaken = true;
+        }
+        if (t.open && t.midTaken &&
+            (tick.now >= t.windowEnd ||
+             t.prof.totalRequests() >= params_.profileMinRequests)) {
+            close(static_cast<int>(s), tick.now);
+        }
+    }
+}
+
+} // namespace sac

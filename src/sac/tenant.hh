@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-tenant SAC control for multi-stream (co-resident kernel) runs.
+ *
+ * With one resident kernel, SAC profiles at kernel start and applies
+ * its verdict to the whole machine (sac/window.hh). With co-resident
+ * kernel streams the verdict is contested: each stream has its own
+ * sharing behaviour, but the LLC organization (the routing mode) is a
+ * machine-wide property. TenantSacService runs one profiling window
+ * per tenant — its own Profiler, fed only that stream's L1 misses,
+ * its hit rate measured from that stream's per-slice LLC counters —
+ * and arbitrates the per-tenant verdicts into the single mode.
+ *
+ * Contended-case policy (documented, deliberately simple):
+ *
+ *  - Profiling must run memory-side (the EAB inputs assume it), so
+ *    opening any tenant's window while the machine is SM-side first
+ *    reverts it (drain + flush, tagged "re-profile") — even when the
+ *    SM-side mode was another tenant's verdict. Arbitration re-applies
+ *    the winning verdict after the window closes.
+ *  - Arbitration: the verdict of the bandwidth-major tenant — the one
+ *    with the largest windowed LLC request count — wins; an exact tie
+ *    between disagreeing tenants falls back to memory-side (the
+ *    paper's default configuration). Any resulting mode change is a
+ *    full reconfiguration (drain + flush).
+ *  - A stream's verdict is dropped when its kernel ends (the next
+ *    kernel re-profiles); there is no periodic re-profiling interval
+ *    in multi-tenant runs.
+ */
+
+#ifndef SAC_SAC_TENANT_HH
+#define SAC_SAC_TENANT_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "sac/controller.hh"
+#include "sac/profiler.hh"
+#include "sim/run_service.hh"
+
+namespace sac {
+
+/** What per-tenant window management needs from the system. */
+class TenantHost
+{
+  public:
+    /** Current LLC request/hit totals attributed to @p stream. */
+    virtual std::pair<std::uint64_t, std::uint64_t>
+    streamLlcTotals(int stream) const = 0;
+
+    /** Records a tenant's closed-window decision (result + trace). */
+    virtual void tenantWindowClosed(int stream, const SacDecision &d,
+                                    double hit_rate) = 0;
+
+    /** Counts + traces a reconfiguration to @p to (before its flush). */
+    virtual void reconfigured(LlcMode to) = 0;
+
+    /** Full-LLC drain + flush of a mode change (see WindowHost). */
+    virtual void modeChangeFlush(const char *reason) = 0;
+
+  protected:
+    ~TenantHost() = default;
+};
+
+/** Per-tenant profiling windows + verdict arbitration. */
+class TenantSacService final : public RunService
+{
+  public:
+    TenantSacService(const GpuConfig &cfg, SacOrg &org, TenantHost &host,
+                     int streams);
+
+    /** Kernel launch on @p stream: opens that tenant's window. */
+    void beginStreamKernel(int stream, int kernel, Cycle now);
+
+    /**
+     * Kernel end on @p stream: cancels an open window, drops the
+     * tenant's verdict and re-arbitrates the remaining ones.
+     */
+    void endStreamKernel(int stream, Cycle now);
+
+    /** True while @p stream's profiling window is collecting. */
+    bool windowOpen(int stream) const
+    {
+        return tenants_[static_cast<std::size_t>(stream)].open;
+    }
+
+    /** Feeds one of @p stream's L1 misses to its profiler. */
+    void onL1Miss(int stream, ChipId src, ChipId home, int slice,
+                  Addr line_addr, unsigned sector);
+
+    /** Verdict arbitration winner as of the last change. */
+    LlcMode mode() const { return org_.mode(); }
+
+    const char *name() const override { return "tenant-sac"; }
+    Cycle nextDue(Cycle now) const override;
+    void poll(const TickInfo &tick) override;
+
+  private:
+    struct Tenant
+    {
+        explicit Tenant(const GpuConfig &cfg) : prof(cfg) {}
+
+        Profiler prof;
+        bool open = false;
+        bool midTaken = false;
+        Cycle mid = 0;
+        Cycle windowEnd = 0;
+        int kernel = 0;
+        std::uint64_t reqSnapshot = 0;
+        std::uint64_t hitSnapshot = 0;
+        /** A closed window's verdict is live until the kernel ends. */
+        bool hasVerdict = false;
+        LlcMode want = LlcMode::MemorySide;
+        /** LLC requests observed over the (post-mid) window. */
+        std::uint64_t windowRequests = 0;
+    };
+
+    void open(int stream, Cycle now);
+    void close(int stream, Cycle now);
+    /** Applies the bandwidth-major tenant's verdict to the machine. */
+    void arbitrate();
+
+    SacParams params_;
+    eab::ArchParams arch_;
+    SacOrg &org_;
+    TenantHost &host_;
+    std::vector<Tenant> tenants_;
+};
+
+} // namespace sac
+
+#endif // SAC_SAC_TENANT_HH

@@ -50,6 +50,8 @@ SacWindowService::close(Cycle now)
 Cycle
 SacWindowService::nextDue(Cycle) const
 {
+    if (!enabled_)
+        return cycleNever;
     if (open_ && !midTaken_)
         return mid_;
     if (open_)
@@ -62,6 +64,8 @@ SacWindowService::nextDue(Cycle) const
 void
 SacWindowService::poll(const TickInfo &tick)
 {
+    if (!enabled_)
+        return;
     const SacParams &params = controller_.params();
     if (open_ && !midTaken_ &&
         (tick.now >= mid_ ||

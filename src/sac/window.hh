@@ -81,6 +81,20 @@ class SacWindowService final : public RunService
      *  profiler only then). */
     bool isOpen() const { return open_; }
 
+    /**
+     * Hard-disables the service (multi-tenant runs hand window
+     * management to the per-tenant TenantSacService). Disabled, it
+     * declares no deadline and its poll is a no-op — necessary
+     * because a merely-closed window would re-open itself at
+     * closedAt + reprofileInterval.
+     */
+    void setEnabled(bool enabled)
+    {
+        enabled_ = enabled;
+        if (!enabled)
+            open_ = false;
+    }
+
     const char *name() const override { return "sac-window"; }
     Cycle nextDue(Cycle now) const override;
     void poll(const TickInfo &tick) override;
@@ -93,6 +107,7 @@ class SacWindowService final : public RunService
 
     Controller &controller_;
     WindowHost &host_;
+    bool enabled_ = true;
     bool open_ = false;
     /** Hit-rate measurement restarts at the window midpoint so the
      *  cold-start transient does not bias the EAB comparison. */

@@ -5,6 +5,7 @@
 #include "common/config.hh"
 #include "common/log.hh"
 #include "sim/result_io.hh"
+#include "workload/scenario.hh"
 #include "workload/suite.hh"
 
 namespace sac::service {
@@ -50,9 +51,16 @@ boundedDouble(const json::Value &v, const char *name, double lo,
 void
 addJobSpec(ExperimentPlan &plan, const json::Value &spec)
 {
-    if (!spec.has("benchmark"))
-        invalid("sweep request", "job spec is missing \"benchmark\"");
-    const std::string benchmark = spec.at("benchmark").asString();
+    const bool has_scenario = spec.has("scenario");
+    if (!spec.has("benchmark") && !has_scenario) {
+        invalid("sweep request",
+                "job spec is missing \"benchmark\" (or \"scenario\")");
+    }
+    if (spec.has("benchmark") && has_scenario) {
+        invalid("sweep request",
+                "job spec has both \"benchmark\" and \"scenario\"; "
+                "scenario streams name their own benchmarks");
+    }
 
     const int scale =
         spec.has("scale")
@@ -83,7 +91,42 @@ addJobSpec(ExperimentPlan &plan, const json::Value &spec)
     }
     cfg.validate();
 
-    WorkloadProfile profile = findBenchmark(benchmark);
+    const std::string label =
+        spec.has("label") ? spec.at("label").asString() : "";
+    const std::string org =
+        spec.has("org") ? spec.at("org").asString() : "all";
+
+    if (has_scenario) {
+        // The streams array reuses the scenario-file shape and its
+        // bounds (stream count cap, per-field range checks); the
+        // profile-level knobs live inside each stream instead.
+        if (spec.has("inputScale") || spec.has("apw")) {
+            invalid("sweep request",
+                    "\"inputScale\"/\"apw\" belong inside scenario "
+                    "streams, not beside \"scenario\"");
+        }
+        const Scenario scenario =
+            scenarioFromStreamsValue(spec.at("scenario"));
+        const auto add_one = [&](OrgKind kind, std::string job_label) {
+            ExperimentJob job;
+            job.scenario = scenario;
+            job.config = cfg;
+            job.org = kind;
+            job.seed = seed;
+            job.label = std::move(job_label);
+            plan.add(std::move(job));
+        };
+        if (org == "all") {
+            for (const OrgKind kind : ExperimentPlan::allOrganizations())
+                add_one(kind, "");
+        } else {
+            add_one(orgKindFromName(org), label);
+        }
+        return;
+    }
+
+    WorkloadProfile profile =
+        findBenchmark(spec.at("benchmark").asString());
     if (spec.has("inputScale")) {
         profile = profile.withInputScale(boundedDouble(
             spec.at("inputScale"), "inputScale", 1e-6, 1024.0));
@@ -97,11 +140,6 @@ addJobSpec(ExperimentPlan &plan, const json::Value &spec)
         }
     }
 
-    const std::string label =
-        spec.has("label") ? spec.at("label").asString() : "";
-
-    const std::string org =
-        spec.has("org") ? spec.at("org").asString() : "all";
     if (org == "all") {
         plan.addOrgSweep(profile, cfg, ExperimentPlan::allOrganizations(),
                          seed);

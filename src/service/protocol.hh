@@ -24,6 +24,16 @@
  * "org": "all" expands to the five organizations in presentation
  * order, exactly like sacsim --org all.
  *
+ * A job spec may carry "scenario" INSTEAD of "benchmark": an array of
+ * stream objects in the scenario-file shape (workload/scenario.hh) —
+ * {"benchmark","launchCycle","clusterShare","kernels","apw",
+ * "inputScale"} per stream, at most 8 streams, every numeric
+ * range-checked. Such a job runs the streams co-resident and its
+ * record carries the per-stream breakdown (sac.results.v4); "org",
+ * "seed", "scale", "coherence", "sectors", "interChipBw" and "label"
+ * apply as usual, while top-level "inputScale"/"apw" are rejected
+ * (each stream names its own).
+ *
  * Response (sac.sweep-result.v1) — one line per event, in plan
  * order, flushed as delivered:
  *

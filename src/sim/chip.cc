@@ -277,10 +277,28 @@ Chip::beginKernel(std::uint64_t accesses_per_warp, Cycle now)
 }
 
 void
+Chip::beginKernelRange(std::uint64_t first, std::uint64_t count,
+                       std::uint64_t accesses_per_warp, Cycle now)
+{
+    for (std::uint64_t c = first; c < first + count; ++c) {
+        clusters[c]->beginKernel(accesses_per_warp, now);
+        if (sched_)
+            sched_->wake(clusterIds_[c], now);
+    }
+}
+
+void
 Chip::flushL1s()
 {
     for (auto &cluster : clusters)
         cluster->flushL1();
+}
+
+void
+Chip::flushL1Range(std::uint64_t first, std::uint64_t count)
+{
+    for (std::uint64_t c = first; c < first + count; ++c)
+        clusters[c]->flushL1();
 }
 
 void
@@ -296,6 +314,21 @@ Chip::pauseClusters(Cycle until)
 {
     for (auto &cluster : clusters)
         cluster->pauseUntil(until);
+}
+
+void
+Chip::pauseClustersRange(std::uint64_t first, std::uint64_t count,
+                         Cycle until)
+{
+    for (std::uint64_t c = first; c < first + count; ++c)
+        clusters[c]->pauseUntil(until);
+}
+
+void
+Chip::setClusterStream(std::uint64_t first, std::uint64_t count, int stream)
+{
+    for (std::uint64_t c = first; c < first + count; ++c)
+        clusters[c]->setStream(stream);
 }
 
 void
@@ -328,6 +361,16 @@ Chip::clustersDone() const
 {
     for (const auto &cluster : clusters) {
         if (!cluster->done())
+            return false;
+    }
+    return true;
+}
+
+bool
+Chip::clustersDoneRange(std::uint64_t first, std::uint64_t count) const
+{
+    for (std::uint64_t c = first; c < first + count; ++c) {
+        if (!clusters[c]->done())
             return false;
     }
     return true;

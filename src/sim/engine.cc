@@ -5,6 +5,7 @@
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -73,9 +74,19 @@ ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index,
     cfg.seed = job.seed;
     cfg.validate();
 
+    // Scenario jobs drive a per-stream trace mux; legacy jobs keep the
+    // bare generator (the one-stream mux degenerates to it, but the
+    // legacy path stays untouched for byte-identity's sake).
     const WorkloadProfile scaled = job.profile.scaledData(dataScale(cfg));
-    SharingTraceGen gen(scaled, cfg, job.seed);
-    System system(cfg, job.org, gen);
+    const Scenario scaledScenario =
+        job.scenario.scaledData(dataScale(cfg));
+    std::unique_ptr<TraceSource> src;
+    if (job.hasScenario())
+        src = std::make_unique<StreamTraceMux>(scaledScenario, cfg,
+                                               job.seed);
+    else
+        src = std::make_unique<SharingTraceGen>(scaled, cfg, job.seed);
+    System system(cfg, job.org, *src);
     system.setFastForward(job.fastForward);
     system.setRunLimits(job.limits);
     system.setCancelToken(cancel);
@@ -112,11 +123,12 @@ ExperimentEngine::runJob(const ExperimentJob &job, std::size_t index,
     RunRecord rec;
     rec.jobIndex = index;
     rec.label = job.label;
-    rec.benchmark = job.profile.name;
+    rec.benchmark = job.benchmarkName();
     rec.seed = job.seed;
     rec.attempts = attempt;
     systemRuns.fetch_add(1, std::memory_order_relaxed);
-    rec.result = system.run(kernelsFor(scaled));
+    rec.result = job.hasScenario() ? system.run(scaledScenario)
+                                   : system.run(kernelsFor(scaled));
     rec.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
@@ -140,7 +152,7 @@ failedRecord(const ExperimentJob &job, std::size_t index, int attempts,
     RunRecord rec;
     rec.jobIndex = index;
     rec.label = job.label;
-    rec.benchmark = job.profile.name;
+    rec.benchmark = job.benchmarkName();
     rec.seed = job.seed;
     rec.attempts = attempts;
     rec.result.organization = toString(job.org);

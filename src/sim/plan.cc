@@ -116,19 +116,22 @@ writeConfig(KeyWriter &w, const GpuConfig &cfg)
 }
 
 void
-writeProfile(KeyWriter &w, const WorkloadProfile &p)
+writeProfile(KeyWriter &w, const WorkloadProfile &p,
+             const std::string &prefix = "")
 {
-    w.field("name", p.name);
-    w.field("smSidePreferred", p.smSidePreferred ? 1 : 0);
-    w.field("ctas", p.ctas);
-    w.field("footprintMB", p.footprintMB);
-    w.field("trueSharedMB", p.trueSharedMB);
-    w.field("falseSharedMB", p.falseSharedMB);
-    w.field("numKernels", p.numKernels);
-    w.field("numPhases", static_cast<std::uint64_t>(p.phases.size()));
+    const auto name = [&prefix](const char *f) { return prefix + f; };
+    w.field(name("name").c_str(), p.name);
+    w.field(name("smSidePreferred").c_str(), p.smSidePreferred ? 1 : 0);
+    w.field(name("ctas").c_str(), p.ctas);
+    w.field(name("footprintMB").c_str(), p.footprintMB);
+    w.field(name("trueSharedMB").c_str(), p.trueSharedMB);
+    w.field(name("falseSharedMB").c_str(), p.falseSharedMB);
+    w.field(name("numKernels").c_str(), p.numKernels);
+    w.field(name("numPhases").c_str(),
+            static_cast<std::uint64_t>(p.phases.size()));
     for (std::size_t i = 0; i < p.phases.size(); ++i) {
         const KernelPhase &ph = p.phases[i];
-        const std::string pre = "phase" + std::to_string(i) + ".";
+        const std::string pre = prefix + "phase" + std::to_string(i) + ".";
         w.field((pre + "trueFrac").c_str(), ph.trueFrac);
         w.field((pre + "falseFrac").c_str(), ph.falseFrac);
         w.field((pre + "writeFrac").c_str(), ph.writeFrac);
@@ -170,6 +173,22 @@ canonicalJobKey(const ExperimentJob &job)
     w.field("seed", job.seed);
     writeConfig(w, job.config);
     writeProfile(w, job.profile);
+    // Scenario section: appended only when the job actually has one,
+    // so every pre-scenario key (and cached result) is byte-unchanged.
+    if (job.hasScenario()) {
+        w.field("scenario.numStreams",
+                static_cast<std::uint64_t>(job.scenario.streams.size()));
+        for (std::size_t i = 0; i < job.scenario.streams.size(); ++i) {
+            const StreamSpec &s = job.scenario.streams[i];
+            const std::string pre =
+                "scenario.stream" + std::to_string(i) + ".";
+            w.field((pre + "launchCycle").c_str(),
+                    static_cast<std::uint64_t>(s.launchCycle));
+            w.field((pre + "clusterShare").c_str(), s.clusterShare);
+            w.field((pre + "numKernels").c_str(), s.numKernels);
+            writeProfile(w, s.profile, pre);
+        }
+    }
     return w.str();
 }
 
@@ -198,7 +217,7 @@ ExperimentPlan &
 ExperimentPlan::add(ExperimentJob job)
 {
     if (job.label.empty())
-        job.label = job.profile.name + "/" + toString(job.org);
+        job.label = job.benchmarkName() + "/" + toString(job.org);
     if (!job.telemetry.enabled())
         job.telemetry = telemetryDefault_;
     job.fastForward = job.fastForward && fastForwardDefault_;

@@ -35,6 +35,7 @@
 #include "sim/watchdog.hh"
 #include "telemetry/timeline.hh"
 #include "workload/profile.hh"
+#include "workload/scenario.hh"
 
 namespace sac {
 
@@ -87,12 +88,33 @@ struct ExperimentJob
     /** Deterministic injected fault; defaulted from the plan's
      *  FaultPlan by label. Kind::None = run clean. */
     FaultSpec fault;
+    /**
+     * Multi-tenant scenario (last member, so existing aggregate
+     * initializers stay valid). Empty streams (the default) means the
+     * legacy single-kernel run over @ref profile; non-empty streams
+     * replace the profile entirely — the engine builds a
+     * StreamTraceMux over them and runs System::run(Scenario).
+     */
+    Scenario scenario;
+
+    /** True when this job runs a scenario instead of @ref profile. */
+    bool hasScenario() const { return !scenario.streams.empty(); }
+
+    /** Workload display name: scenario name or profile name. */
+    std::string benchmarkName() const
+    {
+        return hasScenario() ? scenario.name() : profile.name;
+    }
 };
 
 /**
  * The canonical serialization of everything that determines @p job's
  * simulated results: schema version, organization, seed, every
  * GpuConfig field and the full workload profile (phases included).
+ * Scenario jobs append every stream's spec and profile after the
+ * base fields; the scenario section is emitted ONLY when the job has
+ * one, so every pre-scenario key — and thus every cached result —
+ * stays byte-identical under the same schema version.
  * Field order and formatting are frozen per planSchemaVersion;
  * doubles print with enough digits to round-trip (%.17g), so equal
  * keys mean bit-equal inputs. Human-readable by design — a cache can

@@ -39,6 +39,59 @@ decisionToJson(const SacDecision &d)
     return b.close('}');
 }
 
+std::string
+streamResultToJson(const StreamResult &s)
+{
+    Builder cycles('[');
+    for (const auto c : s.kernelCycles)
+        cycles.item(json::number(c));
+
+    Builder decisions('[');
+    for (const auto &d : s.sacDecisions)
+        decisions.item(decisionToJson(d));
+
+    Builder b('{');
+    b.field("stream", json::number(static_cast<std::uint64_t>(
+                static_cast<unsigned>(s.stream))))
+        .field("name", json::escape(s.name))
+        .field("launchCycle", json::number(s.launchCycle))
+        .field("finishCycle", json::number(s.finishCycle))
+        .field("kernelCycles", cycles.close(']'))
+        .field("accesses", json::number(s.accesses))
+        .field("l1Hits", json::number(s.l1Hits))
+        .field("l1Misses", json::number(s.l1Misses))
+        .field("llcRequests", json::number(s.llcRequests))
+        .field("llcHits", json::number(s.llcHits))
+        .field("avgLoadLatency", json::number(s.avgLoadLatency))
+        .field("flushStallCycles", json::number(s.flushStallCycles))
+        .field("sacDecisions", decisions.close(']'));
+    return b.close('}');
+}
+
+SacDecision decisionFromValue(const Value &v);
+
+StreamResult
+streamResultFromValue(const Value &v)
+{
+    StreamResult s;
+    s.stream = static_cast<int>(v.at("stream").asU64());
+    s.name = v.at("name").asString();
+    s.launchCycle = v.at("launchCycle").asU64();
+    s.finishCycle = v.at("finishCycle").asU64();
+    for (const auto &c : v.at("kernelCycles").array)
+        s.kernelCycles.push_back(c.asU64());
+    s.accesses = v.at("accesses").asU64();
+    s.l1Hits = v.at("l1Hits").asU64();
+    s.l1Misses = v.at("l1Misses").asU64();
+    s.llcRequests = v.at("llcRequests").asU64();
+    s.llcHits = v.at("llcHits").asU64();
+    s.avgLoadLatency = v.at("avgLoadLatency").asDouble();
+    s.flushStallCycles = v.at("flushStallCycles").asU64();
+    for (const auto &d : v.at("sacDecisions").array)
+        s.sacDecisions.push_back(decisionFromValue(d));
+    return s;
+}
+
 LlcMode
 llcModeFromName(const std::string &name)
 {
@@ -101,10 +154,26 @@ runResultFromValue(const Value &v)
     r.flushStallCycles = v.at("flushStallCycles").asU64();
     for (const auto &d : v.at("sacDecisions").array)
         r.sacDecisions.push_back(decisionFromValue(d));
+    // v4 addition; absent from single-stream runs and older documents.
+    if (v.has("streams"))
+        for (const auto &s : v.at("streams").array)
+            r.streams.push_back(streamResultFromValue(s));
     // v2 addition; absent from v1 documents and telemetry-less runs.
     if (v.has("timeline"))
         r.timeline = telemetry::timelineFromValue(v.at("timeline"));
     return r;
+}
+
+const char *
+schemaForRecords(const std::vector<RunRecord> &records,
+                 const WriteOptions &opts)
+{
+    if (opts.streamsSchema)
+        return "sac.results.v4";
+    for (const auto &rec : records)
+        if (!rec.result.streams.empty())
+            return "sac.results.v4";
+    return "sac.results.v3";
 }
 
 } // namespace
@@ -201,6 +270,12 @@ toJson(const RunResult &r)
                    static_cast<unsigned>(r.reconfigurations))))
         .field("flushStallCycles", json::number(r.flushStallCycles))
         .field("sacDecisions", decisions.close(']'));
+    if (!r.streams.empty()) {
+        Builder streams('[');
+        for (const auto &s : r.streams)
+            streams.item(streamResultToJson(s));
+        b.field("streams", streams.close(']'));
+    }
     if (r.timeline)
         b.field("timeline", telemetry::toJson(*r.timeline));
     return b.close('}');
@@ -213,7 +288,7 @@ toJson(const std::vector<RunRecord> &records, const WriteOptions &opts)
     for (const auto &rec : records)
         results.item(recordToJson(rec, opts));
     Builder doc('{');
-    doc.field("schema", json::escape("sac.results.v3"))
+    doc.field("schema", json::escape(schemaForRecords(records, opts)))
         .field("results", results.close(']'));
     return doc.close('}');
 }
@@ -239,7 +314,7 @@ fromJson(const std::string &text)
         fatal("results JSON: not a sac.results document");
     const std::string &schema = doc.at("schema").asString();
     if (schema != "sac.results.v1" && schema != "sac.results.v2" &&
-        schema != "sac.results.v3") {
+        schema != "sac.results.v3" && schema != "sac.results.v4") {
         fatal("results JSON: unsupported schema '", schema, "'");
     }
     std::vector<RunRecord> out;
@@ -266,7 +341,14 @@ void
 JsonDocumentSink::onRecord(const EngineProgress &event)
 {
     if (!open_) {
-        os_ << "{\"schema\":\"sac.results.v3\",\"results\":[";
+        // The header goes out before later records are known, so a
+        // mixed batch whose first record is single-stream needs the
+        // WriteOptions::streamsSchema knob to get the v4 tag (the
+        // engine sets it whenever the plan holds a scenario job).
+        const bool v4 =
+            opts_.streamsSchema || !event.record.result.streams.empty();
+        os_ << "{\"schema\":\"" << (v4 ? "sac.results.v4" : "sac.results.v3")
+            << "\",\"results\":[";
         open_ = true;
     } else {
         os_ << ',';
@@ -277,8 +359,11 @@ JsonDocumentSink::onRecord(const EngineProgress &event)
 void
 JsonDocumentSink::onDone(const EngineDone &)
 {
-    if (!open_)
-        os_ << "{\"schema\":\"sac.results.v3\",\"results\":[";
+    if (!open_) {
+        os_ << "{\"schema\":\""
+            << (opts_.streamsSchema ? "sac.results.v4" : "sac.results.v3")
+            << "\",\"results\":[";
+    }
     os_ << "]}" << "\n";
     os_.flush();
     open_ = false;

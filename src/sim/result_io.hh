@@ -23,8 +23,15 @@
  * simulated state, so the same plan produces byte-identical output
  * for any worker count, across interrupted-and-resumed runs, and
  * with injected faults. Pass WriteOptions{.timing = true} to keep the
- * wall-clock fields (checkpoint lines always carry them). The reader
- * accepts v1, v2 and v3 documents: absent fields simply default.
+ * wall-clock fields (checkpoint lines always carry them).
+ * v4 adds the per-stream breakdown of multi-tenant scenario runs: a
+ * "streams" array inside "result" (one entry per co-resident kernel
+ * stream, with its own cycle/cache counters and SAC verdicts). The
+ * tag is backward-conservative: a document is stamped v4 only when at
+ * least one record actually carries streams (or the streamsSchema
+ * option forces it), so single-kernel plans keep emitting v3
+ * byte-identically. The reader accepts v1 through v4: absent fields
+ * simply default.
  *
  * Serialization is lossless: integers are written verbatim and
  * doubles with max_digits10 precision, so a write/read round trip
@@ -64,6 +71,15 @@ struct WriteOptions
      * checkpoint lines.
      */
     bool timing = false;
+
+    /**
+     * Stamp the document "sac.results.v4" even when no record carries
+     * per-stream results. The batch writer auto-upgrades by scanning
+     * its records; the streaming JsonDocumentSink cannot see past the
+     * first record, so engines running scenario plans set this to keep
+     * the two writers byte-identical.
+     */
+    bool streamsSchema = false;
 };
 
 /** Serializes one RunResult as a JSON object. */
@@ -79,32 +95,34 @@ RunRecord recordFromJson(const std::string &text);
 /** Parses a RunRecord from an already-parsed JSON value. */
 RunRecord recordFromValue(const json::Value &v);
 
-/** Serializes records (plan order) as a sac.results.v3 document. */
+/** Serializes records (plan order) as a sac.results document (v3, or
+ *  v4 when any record carries per-stream results). */
 std::string toJson(const std::vector<RunRecord> &records,
                    const WriteOptions &opts = {});
 
-/** Writes the sac.results.v3 document to @p os. */
+/** Writes the sac.results document to @p os. */
 void write(std::ostream &os, const std::vector<RunRecord> &records,
            const WriteOptions &opts = {});
 
 /** Parses a RunResult from the output of toJson(RunResult). */
 RunResult runResultFromJson(const std::string &text);
 
-/** Parses a sac.results document (v1, v2 or v3). Throws FatalError
+/** Parses a sac.results document (v1 through v4). Throws FatalError
  *  on malformed input or an unsupported schema. */
 std::vector<RunRecord> fromJson(const std::string &text);
 
-/** Reads a sac.results document (v1, v2 or v3) from @p is. */
+/** Reads a sac.results document (v1 through v4) from @p is. */
 std::vector<RunRecord> read(std::istream &is);
 
 // --- streaming sinks ----------------------------------------------------
 
 /**
- * Streams a sac.results.v3 document to an ostream record by record —
+ * Streams a sac.results document to an ostream record by record —
  * the one JSON writer behind sacsim --json and the daemon's batch
- * exports. The bytes are identical to toJson(records): the document
- * header goes out with the first record (or at onDone for an empty
- * plan) and the closing bracket plus newline at onDone.
+ * exports. The bytes are identical to toJson(records) provided
+ * WriteOptions::streamsSchema matches the plan (see its doc): the
+ * document header goes out with the first record (or at onDone for an
+ * empty plan) and the closing bracket plus newline at onDone.
  */
 class JsonDocumentSink : public ResultSink
 {

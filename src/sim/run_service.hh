@@ -89,7 +89,14 @@ enum class RunPhase : int
     SacWindow,     //!< profile-window mid/close/re-profile
     DynamicEpoch,  //!< dynamic-LLC way repartitioning
     Occupancy,     //!< Fig. 9 remote-occupancy digest sampling
-    Watchdog       //!< livelock, cycle-deadline and wall-clock aborts
+    Watchdog,      //!< livelock, cycle-deadline and wall-clock aborts
+    /**
+     * Kernel launch/completion dispatch — deliberately last, so at a
+     * completion cycle every other service has already polled before
+     * the finish/launch mutates the machine (where the old inline
+     * loop's allDone() check sat).
+     */
+    KernelFlow
 };
 
 /**

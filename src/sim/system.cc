@@ -8,6 +8,7 @@
 #include "common/stats.hh"
 #include "llc/flush_model.hh"
 #include "noc/routing.hh"
+#include "workload/scenario.hh"
 
 namespace sac {
 
@@ -368,6 +369,11 @@ System::injectMiss(Packet &&pkt, Cycle now)
     if (window_ && window_->isOpen()) {
         controller->profiler().onL1Miss(pkt.srcChip, home, plan.slice,
                                         pkt.lineAddr, pkt.sector);
+    } else if (tenantSvc_) {
+        // Multi-tenant runs: the miss profiles into its own stream's
+        // window (a no-op while that window is closed).
+        tenantSvc_->onL1Miss(pkt.stream, pkt.srcChip, home, plan.slice,
+                             pkt.lineAddr, pkt.sector);
     }
 
     if (pkt.serveChip == pkt.srcChip) {
@@ -540,6 +546,20 @@ System::llcTotals() const
     return {req, hits};
 }
 
+std::pair<std::uint64_t, std::uint64_t>
+System::streamLlcTotals(int stream) const
+{
+    std::uint64_t req = 0;
+    std::uint64_t hits = 0;
+    for (const auto &chip : chips) {
+        for (int s = 0; s < chip->numSlices(); ++s) {
+            req += chip->slice(s).streamRequests(stream);
+            hits += chip->slice(s).streamHits(stream);
+        }
+    }
+    return {req, hits};
+}
+
 void
 System::launchKernel(const KernelDescriptor &kernel)
 {
@@ -577,6 +597,31 @@ System::windowClosed(const SacDecision &d, double hit_rate)
     if (eventTrace_) {
         eventTrace_->windowClose(
             currentKernel, clock, toString(d.chosen),
+            {{"eabMem", d.eab.memSide.total()},
+             {"eabSm", d.eab.smSide.total()},
+             {"eabMemLocal", d.eab.memSide.local},
+             {"eabMemRemote", d.eab.memSide.remote},
+             {"eabSmLocal", d.eab.smSide.local},
+             {"eabSmRemote", d.eab.smSide.remote},
+             {"rLocal", d.inputs.rLocal},
+             {"lsuMem", d.inputs.lsuMem},
+             {"lsuSm", d.inputs.lsuSm},
+             {"hitMem", d.inputs.hitMem},
+             {"hitSm", d.inputs.hitSm},
+             {"windowHitRate", hit_rate}});
+    }
+}
+
+void
+System::tenantWindowClosed(int stream, const SacDecision &d,
+                           double hit_rate)
+{
+    result.sacDecisions.push_back(d);
+    streamResults_[static_cast<std::size_t>(stream)].sacDecisions.push_back(
+        d);
+    if (eventTrace_) {
+        eventTrace_->windowClose(
+            d.kernel, clock, toString(d.chosen),
             {{"eabMem", d.eab.memSide.total()},
              {"eabSm", d.eab.smSide.total()},
              {"eabMemLocal", d.eab.memSide.local},
@@ -696,6 +741,85 @@ System::finishKernel()
 }
 
 void
+System::launchStreamKernel(int stream, const KernelDescriptor &kernel,
+                           const CtaScheduler::Range &clusters)
+{
+    trace_.beginStreamKernel(stream, kernel.index);
+    for (auto &chip : chips) {
+        chip->beginKernelRange(clusters.first, clusters.count,
+                               kernel.accessesPerWarp, clock);
+    }
+    // The livelock deadline re-arms on any stream's launch.
+    livelockDog_->beginKernel(clock);
+    svcWakeValid_ = false;
+
+    currentKernel = kernel.index;
+    if (eventTrace_)
+        eventTrace_->kernelBegin(kernel.index, kernel.name, clock);
+    if (tenantSvc_)
+        tenantSvc_->beginStreamKernel(stream, kernel.index, clock);
+    if (dynCtrl) {
+        // Documented simplification: the dynamic-partition epoch is a
+        // machine-wide concern, so any stream's launch resets it (the
+        // same global reset the single-stream path performs).
+        dynCtrl->reset();
+        for (auto &chip : chips)
+            chip->setWaySplit(dynCtrl->localWays(chip->id()));
+        lastEpoch = clock;
+        for (auto &chip : chips) {
+            chipDramSnapshot[static_cast<std::size_t>(chip->id())] =
+                chip->memCtrl().bytesServed();
+            chipIcnSnapshot[static_cast<std::size_t>(chip->id())] =
+                chipIcnInBytes[static_cast<std::size_t>(chip->id())];
+        }
+    }
+}
+
+void
+System::finishStreamKernel(int stream, int kernel_index,
+                           const CtaScheduler::Range &clusters,
+                           Cycle kernel_start)
+{
+    const Cycle duration = clock - kernel_start;
+    if (eventTrace_)
+        eventTrace_->kernelEnd(kernel_index, clock, duration);
+    streamResults_[static_cast<std::size_t>(stream)].kernelCycles.push_back(
+        duration);
+    // The flat list keeps completion order across streams (the
+    // per-stream split lives in RunResult::streams).
+    result.kernelCycles.push_back(duration);
+
+    // Software coherence: only the finishing stream's L1s flush.
+    for (auto &chip : chips)
+        chip->flushL1Range(clusters.first, clusters.count);
+
+    const bool llc_needs_flush = org->cachesRemoteData() &&
+                                 coherence.kind() == CoherenceKind::Software;
+    if (llc_needs_flush) {
+        const bool replicas_only = org->kind() == OrgKind::StaticLlc ||
+                                   org->kind() == OrgKind::DynamicLlc;
+        const Cycle done = flushLlc(replicas_only);
+        result.flushStallCycles += done - clock;
+        streamResults_[static_cast<std::size_t>(stream)].flushStallCycles +=
+            done - clock;
+        if (eventTrace_) {
+            eventTrace_->flush(kernel_index, clock, done - clock,
+                               "kernel-boundary");
+        }
+        // Co-resident streams keep running, so there is no global
+        // clock jump: only the finishing stream's clusters stall for
+        // the flush envelope. SmCluster::beginKernel preserves
+        // pausedUntil, so the stall survives the follow-on kernel's
+        // immediate launch.
+        for (auto &chip : chips) {
+            chip->pauseClustersRange(clusters.first, clusters.count, done);
+        }
+    }
+    if (tenantSvc_)
+        tenantSvc_->endStreamKernel(stream, clock);
+}
+
+void
 System::dynamicEpochUpdate()
 {
     for (auto &chip : chips) {
@@ -798,37 +922,134 @@ System::dumpStats(std::ostream &os) const
     root.dump(os);
 }
 
+namespace {
+
+/** Kernel sequence of one scenario stream (plan.cc's kernelsFor
+ *  shape, plus the stream tag and the spec's kernel-count override). */
+std::vector<KernelDescriptor>
+kernelsForStream(const StreamSpec &spec, int stream)
+{
+    std::vector<KernelDescriptor> kernels;
+    const int count = spec.kernelCount();
+    kernels.reserve(static_cast<std::size_t>(count));
+    for (int k = 0; k < count; ++k) {
+        KernelDescriptor d;
+        d.index = k;
+        d.name = spec.profile.name + "-k" + std::to_string(k);
+        d.accessesPerWarp = spec.profile.phase(k).accessesPerWarp;
+        d.stream = stream;
+        kernels.push_back(d);
+    }
+    return kernels;
+}
+
+} // namespace
+
 RunResult
 System::run(const std::vector<KernelDescriptor> &kernels)
 {
     SAC_ASSERT(!kernels.empty(), "run() needs at least one kernel");
+
+    // The legacy single-stream protocol: one stream, launch cycle 0,
+    // every cluster. KernelScheduler reproduces the historical loop
+    // byte-for-byte in this mode.
+    std::vector<KernelStreamState> streams(1);
+    streams[0].stream = 0;
+    streams[0].clusters.first = 0;
+    streams[0].clusters.count =
+        static_cast<std::uint64_t>(cfg_.clustersPerChip);
+    streams[0].kernels = kernels;
+    return runStreams(std::move(streams), /*legacy=*/true);
+}
+
+RunResult
+System::run(const Scenario &scenario)
+{
+    SAC_ASSERT(!scenario.streams.empty(),
+               "run() needs at least one scenario stream");
+    if (!scenario.multiTenant()) {
+        // The trivial one-stream scenario IS the legacy path.
+        return run(kernelsForStream(scenario.streams[0], 0));
+    }
+
+    const int n = static_cast<int>(scenario.streams.size());
+    std::vector<double> shares;
+    shares.reserve(scenario.streams.size());
+    for (const auto &s : scenario.streams)
+        shares.push_back(s.clusterShare);
+    const auto ranges =
+        CtaScheduler::partitionClusters(cfg_.clustersPerChip, shares);
+
+    for (auto &chip : chips) {
+        for (int s = 0; s < n; ++s) {
+            chip->setClusterStream(ranges[static_cast<std::size_t>(s)].first,
+                                   ranges[static_cast<std::size_t>(s)].count,
+                                   s);
+        }
+        for (int sl = 0; sl < chip->numSlices(); ++sl)
+            chip->slice(sl).setStreamCount(n);
+    }
+
+    // Window management moves to the per-tenant service; the global
+    // window must be hard-disabled or it would re-open itself.
+    if (window_)
+        window_->setEnabled(false);
+    if (controller && !tenantSvc_) {
+        tenantSvc_ = std::make_unique<TenantSacService>(cfg_, *sacOrg,
+                                                        *this, n);
+        services_.add(RunPhase::SacWindow, *tenantSvc_);
+    }
+
+    streamResults_.assign(static_cast<std::size_t>(n), StreamResult{});
+    std::vector<KernelStreamState> states(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+        auto &state = states[static_cast<std::size_t>(s)];
+        state.stream = s;
+        state.launchAt = scenario.streams[static_cast<std::size_t>(s)]
+                             .launchCycle;
+        state.clusters = ranges[static_cast<std::size_t>(s)];
+        state.kernels = kernelsForStream(
+            scenario.streams[static_cast<std::size_t>(s)], s);
+        streamResults_[static_cast<std::size_t>(s)].stream = s;
+        streamResults_[static_cast<std::size_t>(s)].name =
+            scenario.streams[static_cast<std::size_t>(s)].profile.name;
+    }
+    return runStreams(std::move(states), /*legacy=*/false);
+}
+
+RunResult
+System::runStreams(std::vector<KernelStreamState> streams, bool legacy)
+{
+    if (!ks_) {
+        ks_ = std::make_unique<KernelScheduler>(*this);
+        services_.add(RunPhase::KernelFlow, *ks_);
+    }
+    ks_->reset(std::move(streams), legacy);
 
     wallDog_->start();
 
     // The loop body is the whole story: advance simulated time, then
     // poll the service registry. Every control concern — fault
     // injection, telemetry, the SAC window, the dynamic-LLC epoch,
-    // occupancy sampling, the watchdogs — lives behind the registry,
-    // and the same registry feeds nextWakeCycle(), so no deadline
-    // exists anywhere else.
+    // occupancy sampling, the watchdogs, and kernel flow itself —
+    // lives behind the registry, and the same registry feeds
+    // nextWakeCycle(), so no deadline exists anywhere else.
+    ks_->start(clock);
     TickInfo tick;
-    for (const auto &kernel : kernels) {
-        launchKernel(kernel);
-        tick.kernel = kernel.index;
-        while (!allDone()) {
-            advance();
-            tick.now = clock;
-            tick.fastForwarded = lastAdvanceSkipped_;
-            svcWake_ = services_.poll(tick);
-            svcWakeValid_ = true;
-        }
-        if (window_) {
-            // The kernel ended with the window still open: no
-            // decision is recorded.
-            window_->cancel();
-        }
-        result.kernelCycles.push_back(clock - kernelStart);
-        finishKernel();
+    while (!ks_->finished()) {
+        advance();
+        tick.now = clock;
+        tick.fastForwarded = lastAdvanceSkipped_;
+        tick.kernel = ks_->currentKernelIndex();
+        svcWakeValid_ = true;
+        const Cycle wake = services_.poll(tick);
+        // A launch inside the kernel-flow poll re-arms services after
+        // their nextDue was already read this sweep; it clears
+        // svcWakeValid_, and the next advance() recomputes the wake
+        // fresh — exactly what the old loop did with launches outside
+        // the loop body.
+        if (svcWakeValid_)
+            svcWake_ = wake;
     }
 
     // --- final aggregation ------------------------------------------------
@@ -879,13 +1100,50 @@ System::run(const std::vector<KernelDescriptor> &kernels)
         if (sampler_) {
             // Close the partial tail epoch (flush stalls may have
             // advanced the clock past the last sample boundary).
-            sampler_->finish(counterTotals(), clock, kernels.back().index,
-                             currentModeName());
+            sampler_->finish(counterTotals(), clock,
+                             ks_->currentKernelIndex(), currentModeName());
             t.samples = sampler_->take();
         }
         if (eventTrace_)
             t.events = eventTrace_->take();
         result.timeline = std::move(t);
+    }
+
+    if (!legacy) {
+        // Per-stream splits: cluster-side counters from each stream's
+        // cluster range, LLC counters from the per-slice stream
+        // accounting, launch/finish cycles from the kernel flow.
+        const auto &states = ks_->streams();
+        for (std::size_t s = 0; s < streamResults_.size(); ++s) {
+            StreamResult &sr = streamResults_[s];
+            const auto &range = states[s].clusters;
+            sr.launchCycle = states[s].startedAt;
+            sr.finishCycle = states[s].finishedAt;
+            std::uint64_t lat_sum = 0;
+            std::uint64_t lat_n = 0;
+            for (const auto &chip : chips) {
+                for (std::uint64_t c = range.first;
+                     c < range.first + range.count; ++c) {
+                    const auto &cs =
+                        chip->cluster(static_cast<ClusterId>(c)).stats();
+                    sr.accesses += cs.accesses;
+                    sr.l1Hits += cs.l1Hits;
+                    sr.l1Misses += cs.l1Misses;
+                    lat_sum += cs.loadLatencySum;
+                    lat_n += cs.loadsCompleted;
+                }
+                for (int sl = 0; sl < chip->numSlices(); ++sl) {
+                    sr.llcRequests +=
+                        chip->slice(sl).streamRequests(static_cast<int>(s));
+                    sr.llcHits +=
+                        chip->slice(sl).streamHits(static_cast<int>(s));
+                }
+            }
+            sr.avgLoadLatency = lat_n ? static_cast<double>(lat_sum) /
+                                            static_cast<double>(lat_n)
+                                      : 0.0;
+        }
+        result.streams = streamResults_;
     }
     return result;
 }

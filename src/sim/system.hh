@@ -37,8 +37,10 @@
 #include "mem/page_table.hh"
 #include "noc/interchip.hh"
 #include "sac/controller.hh"
+#include "sac/tenant.hh"
 #include "sac/window.hh"
 #include "sim/chip.hh"
+#include "sim/kernel_scheduler.hh"
 #include "sim/run_service.hh"
 #include "sim/sched.hh"
 #include "sim/watchdog.hh"
@@ -64,6 +66,37 @@ const char *toString(RunStatus status);
 
 /** Parses toString(RunStatus) output; throws ValidationError else. */
 RunStatus runStatusFromName(const std::string &name);
+
+struct Scenario;
+
+/**
+ * Per-stream measurements of a multi-tenant run. Cluster-side
+ * counters (accesses, L1, load latency) are exact per-stream splits;
+ * LLC counters come from the per-slice stream accounting enabled for
+ * scenario runs ("sac.results.v4" adds these under "streams").
+ */
+struct StreamResult
+{
+    int stream = 0;
+    /** Stream profile name ("CFD"). */
+    std::string name;
+    /** Cycle the stream's first kernel actually launched. */
+    Cycle launchCycle = 0;
+    /** Cycle the stream's last kernel completed. */
+    Cycle finishCycle = 0;
+    std::vector<Cycle> kernelCycles;
+
+    std::uint64_t accesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t llcRequests = 0;
+    std::uint64_t llcHits = 0;
+    double avgLoadLatency = 0.0;
+    Cycle flushStallCycles = 0;
+
+    /** This tenant's profiling-window verdicts. */
+    std::vector<SacDecision> sacDecisions;
+};
 
 /** Measurements of one complete run (all kernels). */
 struct RunResult
@@ -103,6 +136,9 @@ struct RunResult
     /** SAC only: per-kernel mode decisions. */
     std::vector<SacDecision> sacDecisions;
 
+    /** Per-stream measurements; engaged only for multi-tenant runs. */
+    std::vector<StreamResult> streams;
+
     /**
      * Epoch samples and trace events; engaged only when the run was
      * started with telemetry enabled (System::enableTelemetry).
@@ -126,7 +162,10 @@ struct RunResult
 };
 
 /** The simulated multi-chip GPU. */
-class System : public ClusterEnv, public ChipHooks, public WindowHost
+class System : public ClusterEnv,
+               public ChipHooks,
+               public WindowHost,
+               public TenantHost
 {
   public:
     /**
@@ -142,6 +181,18 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
 
     /** Executes the kernel sequence to completion. */
     RunResult run(const std::vector<KernelDescriptor> &kernels);
+
+    /**
+     * Executes a scenario. A one-stream scenario takes the exact
+     * legacy path (byte-identical to run(kernels)); with two or more
+     * streams the clusters are partitioned between the streams, each
+     * progresses through its kernel sequence independently, and the
+     * result gains per-stream measurements. The trace source this
+     * System was built with must demultiplex streams the same way —
+     * use workload/scenario.hh's StreamTraceMux, which applies the
+     * identical CtaScheduler::partitionClusters split.
+     */
+    RunResult run(const Scenario &scenario);
 
     /**
      * Installs watchdog deadlines for the coming run; call before
@@ -290,6 +341,9 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     class OccupancyService;
     class NetUnit;
 
+    /** The kernel-flow service drives launch/finish on the System. */
+    friend class KernelScheduler;
+
     bool allDone() const;
     /**
      * One inter-chip network phase: credit refill, link movement,
@@ -299,6 +353,24 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     void tickNetwork(Cycle now);
     void launchKernel(const KernelDescriptor &kernel);
     void finishKernel();
+    /**
+     * Multi-stream kernel launch: begins the kernel on the stream's
+     * cluster range only and opens that tenant's profiling window.
+     */
+    void launchStreamKernel(int stream, const KernelDescriptor &kernel,
+                            const CtaScheduler::Range &clusters);
+    /**
+     * Multi-stream kernel boundary: flushes the stream's L1s, runs
+     * the software-coherence LLC flush, and stalls only the stream's
+     * clusters for the flush envelope — co-resident streams keep
+     * running (no global clock jump).
+     */
+    void finishStreamKernel(int stream, int kernel_index,
+                            const CtaScheduler::Range &clusters,
+                            Cycle kernel_start);
+    /** Shared run loop + aggregation behind both run() overloads. */
+    RunResult runStreams(std::vector<KernelStreamState> streams,
+                         bool legacy);
     /**
      * Writes back dirty lines and invalidates LLC content; returns
      * the cycle the flush completes (llc/flush_model.hh computes the
@@ -315,8 +387,15 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
 
     // --- WindowHost -------------------------------------------------------
     void windowClosed(const SacDecision &d, double hit_rate) override;
+    /** Also TenantHost (one final overrider serves both bases). */
     void reconfigured(LlcMode to) override;
     void modeChangeFlush(const char *reason) override;
+
+    // --- TenantHost -------------------------------------------------------
+    std::pair<std::uint64_t, std::uint64_t>
+    streamLlcTotals(int stream) const override;
+    void tenantWindowClosed(int stream, const SacDecision &d,
+                            double hit_rate) override;
 
     GpuConfig cfg_;
     AddressMap map;
@@ -390,6 +469,12 @@ class System : public ClusterEnv, public ChipHooks, public WindowHost
     std::unique_ptr<FaultHookService> faultSvc_;
     std::unique_ptr<SamplerService> samplerSvc_;
     std::unique_ptr<SacWindowService> window_;
+    /** Kernel-flow service; created on the first run, reset per run. */
+    std::unique_ptr<KernelScheduler> ks_;
+    /** Per-tenant SAC windows; created for multi-stream SAC runs. */
+    std::unique_ptr<TenantSacService> tenantSvc_;
+    /** Per-stream result accumulators of a multi-stream run. */
+    std::vector<StreamResult> streamResults_;
     std::unique_ptr<DynamicEpochService> epochSvc_;
     std::unique_ptr<OccupancyService> occupancySvc_;
     std::unique_ptr<LivelockWatchdog> livelockDog_;

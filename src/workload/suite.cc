@@ -1,6 +1,7 @@
 #include "workload/suite.hh"
 
 #include "common/log.hh"
+#include "common/suggest.hh"
 
 namespace sac {
 
@@ -151,6 +152,15 @@ benchmarkSuite()
     return suite;
 }
 
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : benchmarkSuite())
+        names.push_back(p.name);
+    return names;
+}
+
 const WorkloadProfile &
 findBenchmark(const std::string &name)
 {
@@ -158,7 +168,11 @@ findBenchmark(const std::string &name)
         if (p.name == name)
             return p;
     }
-    fatal("unknown benchmark '", name, "'");
+    // Recoverable: a typo in a CLI flag, sweep request or scenario
+    // file should surface as a located ValidationError with the
+    // nearest valid name, not abort the process.
+    invalid(name, "unknown benchmark",
+            didYouMean(name, benchmarkNames()));
 }
 
 std::vector<WorkloadProfile>

@@ -30,7 +30,14 @@ namespace sac {
 /** All 16 benchmarks in Table 4 order (SP first, then MP). */
 const std::vector<WorkloadProfile> &benchmarkSuite();
 
-/** Lookup by name ("RN", "BFS", ...); fatal() when unknown. */
+/** All benchmark names, in Table 4 order. */
+std::vector<std::string> benchmarkNames();
+
+/**
+ * Lookup by name ("RN", "BFS", ...). Throws ValidationError with a
+ * did-you-mean suggestion when the name is unknown — recoverable, so
+ * a sweep engine can reject the one bad job and carry on.
+ */
 const WorkloadProfile &findBenchmark(const std::string &name);
 
 /** The SM-side preferred subset (top half of Table 4). */

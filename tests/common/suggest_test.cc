@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Did-you-mean suggestions and the recoverable name-lookup errors
+ * built on them: a typo in a benchmark or organization name must
+ * surface as a ValidationError naming the nearest valid choice, not
+ * abort the process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/log.hh"
+#include "common/suggest.hh"
+#include "llc/organization.hh"
+#include "workload/suite.hh"
+
+namespace sac {
+namespace {
+
+TEST(Suggest, EditDistanceCountsAllFourOperations)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("abc", "abd"), 1u);  // substitute
+    EXPECT_EQ(editDistance("abc", "ab"), 1u);   // delete
+    EXPECT_EQ(editDistance("abc", "abcd"), 1u); // insert
+    EXPECT_EQ(editDistance("abc", "acb"), 1u);  // transpose
+    EXPECT_EQ(editDistance("", "xyz"), 3u);
+}
+
+TEST(Suggest, ClosestMatchIsCaseInsensitiveAndBounded)
+{
+    const std::vector<std::string> names = {"mem", "sm", "static",
+                                            "dynamic", "sac"};
+    EXPECT_EQ(closestMatch("Mem", names), "mem");
+    EXPECT_EQ(closestMatch("dinamic", names), "dynamic");
+    EXPECT_EQ(closestMatch("scc", names), "sac");
+    // Nothing plausibly close: no suggestion at all.
+    EXPECT_EQ(closestMatch("quartz", names), "");
+    // Deterministic tie-break toward the earlier candidate.
+    EXPECT_EQ(closestMatch("sn", {"sm", "sp"}), "sm");
+}
+
+TEST(Suggest, DidYouMeanFormatsSuffixOrNothing)
+{
+    EXPECT_EQ(didYouMean("CDF", {"CFD", "BFS"}),
+              " (did you mean 'CFD'?)");
+    EXPECT_EQ(didYouMean("zzzzzz", {"CFD", "BFS"}), "");
+}
+
+TEST(Suggest, FindBenchmarkRecoversWithSuggestion)
+{
+    try {
+        findBenchmark("CDF");
+        FAIL() << "typo accepted";
+    } catch (const ValidationError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown benchmark"), std::string::npos);
+        EXPECT_NE(msg.find("CFD"), std::string::npos);
+    }
+}
+
+TEST(Suggest, OrgKindFromNameRecoversWithSuggestion)
+{
+    try {
+        orgKindFromName("statc");
+        FAIL() << "typo accepted";
+    } catch (const ValidationError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown organization"), std::string::npos);
+        EXPECT_NE(msg.find("static"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace sac

@@ -129,6 +129,61 @@ TEST(SweepProtocol, RejectsMalformedRequests)
                  ValidationError); // unknown org
 }
 
+TEST(SweepProtocol, ScenarioSpecBuildsMultiTenantJobs)
+{
+    const SweepRequest req = service::parseRequest(
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{"
+        "\"scenario\":[{\"benchmark\":\"CFD\"},"
+        "{\"benchmark\":\"SRAD\",\"launchCycle\":4096,"
+        "\"clusterShare\":2.0}],"
+        "\"org\":\"sac\",\"seed\":5,\"label\":\"pair\"}]}");
+    ASSERT_EQ(req.plan.size(), 1u);
+    const ExperimentJob &job = req.plan[0];
+    ASSERT_TRUE(job.hasScenario());
+    ASSERT_EQ(job.scenario.streams.size(), 2u);
+    EXPECT_EQ(job.scenario.streams[1].launchCycle, 4096u);
+    EXPECT_EQ(job.org, OrgKind::Sac);
+    EXPECT_EQ(job.seed, 5u);
+    EXPECT_EQ(job.label, "pair");
+    EXPECT_EQ(job.benchmarkName(), "CFD+SRAD");
+
+    // "org": "all" expands scenario jobs like benchmark jobs.
+    const SweepRequest all = service::parseRequest(
+        "{\"schema\":\"sac.sweep.v1\",\"plan\":[{"
+        "\"scenario\":[{\"benchmark\":\"RN\"},"
+        "{\"benchmark\":\"BP\"}]}]}");
+    EXPECT_EQ(all.plan.size(),
+              ExperimentPlan::allOrganizations().size());
+    EXPECT_EQ(all.plan[0].label, "RN+BP/Memory-side");
+}
+
+TEST(SweepProtocol, ScenarioSpecIsValidatedLikeTheFileReader)
+{
+    // benchmark and scenario are mutually exclusive.
+    EXPECT_THROW(service::parseRequest(
+                     "{\"schema\":\"sac.sweep.v1\",\"plan\":[{"
+                     "\"benchmark\":\"RN\","
+                     "\"scenario\":[{\"benchmark\":\"CFD\"}]}]}"),
+                 ValidationError);
+    // Top-level apw/inputScale belong inside streams.
+    EXPECT_THROW(service::parseRequest(
+                     "{\"schema\":\"sac.sweep.v1\",\"plan\":[{"
+                     "\"scenario\":[{\"benchmark\":\"CFD\"}],"
+                     "\"apw\":64}]}"),
+                 ValidationError);
+    // Per-stream bounds apply (apw 0 is rejected inside a stream).
+    EXPECT_THROW(service::parseRequest(
+                     "{\"schema\":\"sac.sweep.v1\",\"plan\":[{"
+                     "\"scenario\":[{\"benchmark\":\"CFD\","
+                     "\"apw\":0}]}]}"),
+                 ValidationError);
+    // Empty streams array.
+    EXPECT_THROW(service::parseRequest(
+                     "{\"schema\":\"sac.sweep.v1\",\"plan\":[{"
+                     "\"scenario\":[]}]}"),
+                 ValidationError);
+}
+
 TEST(SweepProtocol, EventLinesCarrySchemaIdAndCounts)
 {
     SweepRequest req;

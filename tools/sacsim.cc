@@ -54,6 +54,7 @@ using namespace sac;
 struct Options
 {
     std::string benchmark = "CFD";
+    std::string scenarioPath;
     std::string org = "all";
     int scale = 4;
     std::uint64_t seed = 1;
@@ -98,6 +99,10 @@ usage(int code)
         "usage: sacsim [options]\n"
         "  --list                 print the Table 4 benchmark suite\n"
         "  --benchmark NAME       workload to run (default CFD)\n"
+        "  --scenario FILE        run a multi-tenant scenario "
+        "(sac.scenario.v1\n"
+        "                         JSON; replaces --benchmark, see "
+        "examples/)\n"
         "  --org KINDS            comma-separated list of\n"
         "                         mem|sm|static|dynamic|sac, or 'all'\n"
         "                         (default all; e.g. --org mem,sac)\n"
@@ -190,6 +195,8 @@ parse(int argc, char **argv)
             o.list = true;
         else if (arg == "--benchmark")
             o.benchmark = value();
+        else if (arg == "--scenario")
+            o.scenarioPath = value();
         else if (arg == "--org")
             o.org = value();
         else if (arg == "--jobs")
@@ -347,6 +354,35 @@ printRecords(const std::vector<RunRecord> &records)
         }
     }
     t.print(std::cout);
+
+    // Scenario runs: the per-stream breakdown under the machine table.
+    bool any_streams = false;
+    for (const auto &rec : records)
+        any_streams = any_streams || !rec.result.streams.empty();
+    if (!any_streams)
+        return;
+    report::Table st({"organization", "stream", "launch", "finish",
+                      "kernels", "LLC hit", "avg load lat",
+                      "flush stall"});
+    for (const auto &rec : records) {
+        for (const auto &s : rec.result.streams) {
+            const double hit_rate =
+                s.llcRequests
+                    ? static_cast<double>(s.llcHits) /
+                          static_cast<double>(s.llcRequests)
+                    : 0.0;
+            st.addRow({rec.result.organization,
+                       std::to_string(s.stream) + ":" + s.name,
+                       std::to_string(s.launchCycle),
+                       std::to_string(s.finishCycle),
+                       std::to_string(s.kernelCycles.size()),
+                       report::percent(hit_rate),
+                       report::num(s.avgLoadLatency, 0),
+                       std::to_string(s.flushStallCycles)});
+        }
+    }
+    std::cout << "\n";
+    st.print(std::cout);
 }
 
 std::ofstream
@@ -440,6 +476,22 @@ run(const Options &o)
         cfg.occupancyInterval = o.occupancyInterval;
     cfg.validate();
 
+    std::optional<Scenario> scenario;
+    if (!o.scenarioPath.empty()) {
+        // The engine path only: the serial single-System modes have no
+        // scenario plumbing. Per-stream inputScale/apw live in the
+        // scenario file, so the global knobs are rejected as ambiguous.
+        if (!o.tracePath.empty() || !o.recordPath.empty() || o.stats) {
+            fatal("--scenario cannot be combined with --trace, "
+                  "--record or --stats");
+        }
+        if (o.apw > 0) {
+            fatal("--apw does not apply to scenarios; set \"apw\" on "
+                  "each stream in ", o.scenarioPath);
+        }
+        scenario = scenarioFromFile(o.scenarioPath);
+    }
+
     WorkloadProfile profile = findBenchmark(o.benchmark);
     profile = profile.withInputScale(o.inputScale);
     if (o.apw > 0) {
@@ -447,8 +499,14 @@ run(const Options &o)
             phase.accessesPerWarp = o.apw;
     }
 
-    std::cout << "workload " << profile.name << " (x" << o.inputScale
-              << ") on " << cfg.summary() << "\n\n";
+    if (scenario) {
+        std::cout << "scenario " << scenario->name() << " ("
+                  << scenario->streams.size() << " stream(s)) on "
+                  << cfg.summary() << "\n\n";
+    } else {
+        std::cout << "workload " << profile.name << " (x" << o.inputScale
+                  << ") on " << cfg.summary() << "\n\n";
+    }
 
     const std::vector<OrgKind> kinds = parseOrgList(o.org);
     const telemetry::Options topts = telemetryOptions(o);
@@ -482,7 +540,18 @@ run(const Options &o)
         }
     } else {
         ExperimentPlan plan;
-        plan.addOrgSweep(profile, cfg, kinds, o.seed);
+        if (scenario) {
+            for (const auto kind : kinds) {
+                ExperimentJob job;
+                job.scenario = *scenario;
+                job.config = cfg;
+                job.org = kind;
+                job.seed = o.seed;
+                plan.add(std::move(job));
+            }
+        } else {
+            plan.addOrgSweep(profile, cfg, kinds, o.seed);
+        }
         plan.setFastForward(o.fastForward);
         if (topts.enabled())
             plan.enableTelemetry(topts);
@@ -521,7 +590,11 @@ run(const Options &o)
                 json_file = openOut(o.jsonPath);
                 json_out = &json_file;
             }
-            json_sink.emplace(*json_out);
+            result_io::WriteOptions wopts;
+            // Single-stream scenarios are the legacy run exactly, so
+            // they keep the v3 tag (and its byte-identity) too.
+            wopts.streamsSchema = scenario && scenario->multiTenant();
+            json_sink.emplace(*json_out, wopts);
             runner.addSink(*json_sink);
         }
 
